@@ -1,0 +1,131 @@
+"""Ablation — offset lists vs full ID lists for secondary indexes.
+
+The headline space claim of the paper (Section III-B3): because every
+secondary list is a subset of a primary ID list, storing a small per-edge
+*offset* (1-2 bytes at real-world degrees) replaces the (8-byte edge ID,
+4-byte neighbour ID) pair a naive secondary index would store.  This ablation
+measures, for the Table III and Table IV secondary indexes, the bytes per
+indexed edge under both designs and the resulting total memory overhead over
+the primary-only configuration.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.graph import Direction
+from repro.graph.types import EDGE_ID_BYTES, VERTEX_ID_BYTES
+from repro.bench.harness import vpt_view_and_config
+from repro.bench.reporting import Table
+from repro.index.primary import PrimaryIndex
+from repro.index.vertex_partitioned import VertexPartitionedIndex
+from repro.workloads import fraud
+from repro.workloads.datasets import financial_dataset, social_dataset
+
+from common import BENCH_SCALE, print_header
+
+
+def run_experiment() -> List[dict]:
+    rows = []
+
+    # VPt (Table III): time-sorted global view sharing the primary's levels.
+    social = social_dataset("wt", scale=BENCH_SCALE)
+    primary = PrimaryIndex(social)
+    vpt_view, vpt_config = vpt_view_and_config()
+    vpt = VertexPartitionedIndex(
+        social, vpt_view, Direction.FORWARD, vpt_config, primary.forward
+    )
+    rows.append(_row("VPt (forward)", social, primary, [vpt]))
+
+    # VPc (Table IV): city-sorted global view in both directions.
+    financial = financial_dataset("wt", scale=BENCH_SCALE)
+    primary = PrimaryIndex(financial)
+    vpc_view, vpc_config = fraud.vpc_view_and_config()
+    vpc_fw = VertexPartitionedIndex(
+        financial, vpc_view, Direction.FORWARD, vpc_config, primary.forward
+    )
+    vpc_bw = VertexPartitionedIndex(
+        financial, vpc_view, Direction.BACKWARD, vpc_config, primary.backward
+    )
+    rows.append(_row("VPc (both directions)", financial, primary, [vpc_fw, vpc_bw]))
+    return rows
+
+
+def _row(name, graph, primary, indexes) -> dict:
+    indexed_edges = sum(index.num_indexed_edges for index in indexes)
+    offset_bytes = sum(index.nbytes() for index in indexes)
+    id_list_bytes = indexed_edges * (EDGE_ID_BYTES + VERTEX_ID_BYTES)
+    primary_bytes = primary.nbytes()
+    return {
+        "name": name,
+        "indexed_edges": indexed_edges,
+        "offset_bytes": offset_bytes,
+        "offset_per_edge": offset_bytes / max(indexed_edges, 1),
+        "id_list_bytes": id_list_bytes,
+        "id_per_edge": id_list_bytes / max(indexed_edges, 1),
+        "overhead_offsets": (primary_bytes + offset_bytes) / primary_bytes,
+        "overhead_id_lists": (primary_bytes + id_list_bytes) / primary_bytes,
+    }
+
+
+def build_table(rows) -> Table:
+    table = Table(
+        title="Ablation — offset lists vs globally identifiable ID lists",
+        columns=[
+            "secondary index",
+            "indexed edges",
+            "offset bytes",
+            "bytes/edge (offsets)",
+            "ID-list bytes",
+            "bytes/edge (IDs)",
+            "memory overhead (offsets)",
+            "memory overhead (ID lists)",
+        ],
+    )
+    for row in rows:
+        table.add_row(
+            row["name"],
+            row["indexed_edges"],
+            row["offset_bytes"],
+            row["offset_per_edge"],
+            row["id_list_bytes"],
+            row["id_per_edge"],
+            f"{row['overhead_offsets']:.2f}x",
+            f"{row['overhead_id_lists']:.2f}x",
+        )
+    table.add_note(
+        "paper reference points: ~1.08x overhead for VPt, ~1.16x for the "
+        "double-direction VPc, versus 12 bytes/edge for a naive ID-list design"
+    )
+    return table
+
+
+def test_benchmark_secondary_index_resolution(benchmark):
+    """Time the offset-list indirection of reading every secondary list once."""
+    social = social_dataset("brk", scale=BENCH_SCALE)
+    primary = PrimaryIndex(social)
+    vpt_view, vpt_config = vpt_view_and_config()
+    index = VertexPartitionedIndex(
+        social, vpt_view, Direction.FORWARD, vpt_config, primary.forward
+    )
+
+    def read_all():
+        total = 0
+        for vertex in range(social.num_vertices):
+            edge_ids, _ = index.list(vertex)
+            total += len(edge_ids)
+        return total
+
+    total = benchmark(read_all)
+    assert total == index.num_indexed_edges
+
+
+def main() -> None:
+    print_header("Ablation — offset lists vs ID lists (Section III-B3)")
+    print(build_table(run_experiment()).render())
+
+
+if __name__ == "__main__":
+    main()

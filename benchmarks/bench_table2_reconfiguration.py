@@ -1,0 +1,171 @@
+"""Table II — primary A+ index reconfiguration (configs D, Ds, Dp).
+
+Runs the labelled subgraph query workload (SQ1-SQ13) under the three primary
+index configurations of Section V-B:
+
+* ``D``  — partition by edge label, sort by neighbour ID (system default),
+* ``Ds`` — same partitioning, sort by neighbour label then neighbour ID,
+* ``Dp`` — partition by edge label and neighbour label, sort by neighbour ID,
+
+and reports per-query runtimes, speedups over ``D``, memory, and the index
+reconfiguration (IR) time, next to the speedups the paper reports for
+WT_{4,2}.  The expected *shape*: Ds is at least as fast as D on every query,
+Dp at least as fast as Ds, Ds has no memory overhead, and Dp has a small one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.bench.harness import config_d, config_dp, config_ds, database_with_primary_config
+from repro.bench.reporting import Table, ratio_string, speedup
+from repro.workloads import WorkloadRunner, labelled_subgraph
+from repro.workloads.datasets import labelled_dataset
+
+from common import (
+    BENCH_SCALE,
+    REPETITIONS,
+    TABLE2_DATASET,
+    TABLE2_EDGE_LABELS,
+    TABLE2_VERTEX_LABELS,
+    print_header,
+)
+
+#: Speedups over D reported by the paper for WT_{4,2} (Table II); our scaled
+#: stand-in uses the BRK-sized graph with the same label alphabet.
+PAPER_SPEEDUPS_WT42 = {
+    "SQ1": (1.65, 1.91),
+    "SQ2": (1.89, 2.20),
+    "SQ3": (1.56, 1.80),
+    "SQ4": (1.22, 1.53),
+    "SQ5": (1.65, 1.99),
+    "SQ6": (1.38, 1.66),
+    "SQ7": (1.20, 1.21),
+    "SQ8": (2.87, 3.94),
+    "SQ9": (2.09, 2.62),
+    "SQ10": (1.60, 1.74),
+    "SQ11": (4.41, 4.45),
+    "SQ12": (1.53, 1.88),
+    "SQ13": (1.98, 3.26),
+}
+#: Memory ratio of Dp over D reported for WT_{4,2}.
+PAPER_MEMORY_RATIO_DP = 1.12
+
+CONFIGS = {"D": config_d, "Ds": config_ds, "Dp": config_dp}
+
+
+def _graph():
+    return labelled_dataset(
+        TABLE2_DATASET, TABLE2_VERTEX_LABELS, TABLE2_EDGE_LABELS, scale=BENCH_SCALE
+    )
+
+
+def _queries():
+    return labelled_subgraph.build_workload(TABLE2_VERTEX_LABELS, TABLE2_EDGE_LABELS)
+
+
+def run_experiment() -> Dict[str, object]:
+    graph = _graph()
+    queries = _queries()
+    measurements = {}
+    for name, factory in CONFIGS.items():
+        configured = database_with_primary_config(graph, name, factory())
+        runner = WorkloadRunner(configured.database, name, configured.setup_seconds)
+        measurements[name] = runner.run(queries, repetitions=REPETITIONS)
+    return measurements
+
+
+def build_table(measurements) -> Table:
+    table = Table(
+        title=(
+            f"Table II — primary index reconfiguration "
+            f"({TABLE2_DATASET.upper()}_{{{TABLE2_VERTEX_LABELS},{TABLE2_EDGE_LABELS}}} stand-in)"
+        ),
+        columns=[
+            "query",
+            "D (s)",
+            "Ds (s)",
+            "Dp (s)",
+            "Ds speedup",
+            "Dp speedup",
+            "paper Ds",
+            "paper Dp",
+            "matches",
+        ],
+    )
+    base = measurements["D"]
+    for name in base.queries:
+        paper_ds, paper_dp = PAPER_SPEEDUPS_WT42.get(name, (None, None))
+        table.add_row(
+            name,
+            base.runtime(name),
+            measurements["Ds"].runtime(name),
+            measurements["Dp"].runtime(name),
+            ratio_string(measurements["Ds"].speedup_over(base, name)),
+            ratio_string(measurements["Dp"].speedup_over(base, name)),
+            ratio_string(paper_ds),
+            ratio_string(paper_dp),
+            base.queries[name].count,
+        )
+    table.add_row(
+        "memory (MB)",
+        base.memory_megabytes(),
+        measurements["Ds"].memory_megabytes(),
+        measurements["Dp"].memory_megabytes(),
+        ratio_string(measurements["Ds"].memory_ratio_over(base)),
+        ratio_string(measurements["Dp"].memory_ratio_over(base)),
+        ratio_string(1.0),
+        ratio_string(PAPER_MEMORY_RATIO_DP),
+        None,
+    )
+    table.add_row(
+        "IR time (s)",
+        base.setup_seconds,
+        measurements["Ds"].setup_seconds,
+        measurements["Dp"].setup_seconds,
+        None,
+        None,
+        None,
+        None,
+        None,
+    )
+    table.add_note(
+        "paper speedups are the WT_{4,2} row of Table II; expected shape: "
+        "Ds >= 1x with no extra memory, Dp >= Ds with a small memory overhead"
+    )
+    return table
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module", params=list(CONFIGS))
+def configured_database(request):
+    graph = _graph()
+    return request.param, database_with_primary_config(
+        graph, request.param, CONFIGS[request.param]()
+    ).database
+
+
+@pytest.mark.parametrize("query_name", ["SQ1", "SQ4", "SQ11"])
+def test_benchmark_subgraph_query(benchmark, configured_database, query_name):
+    config_name, database = configured_database
+    query = labelled_subgraph.build_query(
+        query_name, TABLE2_VERTEX_LABELS, TABLE2_EDGE_LABELS
+    )
+    plan = database.plan(query)
+    benchmark.extra_info["config"] = config_name
+    count = benchmark(lambda: database.executor().count(plan))
+    assert count >= 0
+
+
+def main() -> None:
+    print_header("Table II — primary A+ index reconfiguration")
+    measurements = run_experiment()
+    print(build_table(measurements).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Pytest configuration for the benchmark harness.
+
+Adds the benchmarks directory to ``sys.path`` so the bench modules can import
+their shared ``common`` module when collected by pytest from the repository
+root.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

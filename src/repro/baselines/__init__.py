@@ -1,0 +1,7 @@
+"""Fixed-adjacency-list baseline engines used in the Table V comparison."""
+
+from .fixed_config import FixedConfigEngine
+from .neo4j_like import Neo4jLikeEngine
+from .tigergraph_like import TigerGraphLikeEngine
+
+__all__ = ["FixedConfigEngine", "Neo4jLikeEngine", "TigerGraphLikeEngine"]

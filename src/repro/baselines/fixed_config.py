@@ -1,0 +1,93 @@
+"""Base class for fixed-adjacency-list comparison engines.
+
+The paper compares GraphflowDB + A+ indexes against Neo4j and TigerGraph
+(Section V-E) to show that the reported benefits come on top of a system that
+is already competitive, and that fixed-index systems have no mechanism to
+close the gap on join-heavy queries.  The closed-source systems obviously
+cannot be rebuilt here; instead, the baselines model the *index structure*
+each system exposes to its query processor:
+
+* a fixed, non-reconfigurable primary adjacency-list layout,
+* no secondary A+ indexes, and
+* no tunable sorting, so multiway intersections pay a per-access sort.
+
+Everything else — the graph, the operators, the optimizer, the executor — is
+shared with the A+ engine, so measured differences isolate the index
+structure, which is exactly the comparison the paper is making.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..errors import IndexConfigError
+from ..graph.graph import PropertyGraph
+from ..index.config import IndexConfig
+from ..query.engine import Database
+from ..query.executor import QueryResult
+from ..query.pattern import QueryGraph
+from ..query.plan import QueryPlan
+
+
+class FixedConfigEngine:
+    """A GDBMS with a fixed adjacency-list structure.
+
+    Subclasses pin the primary index configuration via :meth:`fixed_config`.
+    Reconfiguration and secondary index creation raise
+    :class:`IndexConfigError`, modelling the absence of those mechanisms.
+    """
+
+    #: Human-readable engine name used in benchmark tables.
+    name = "fixed"
+
+    def __init__(self, graph: PropertyGraph, batch_size: int = 1024) -> None:
+        self._db = Database(graph, primary_config=self.fixed_config(), batch_size=batch_size)
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    @classmethod
+    def fixed_config(cls) -> IndexConfig:
+        """The engine's built-in adjacency-list layout."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # blocked tuning operations
+    # ------------------------------------------------------------------
+    def reconfigure_primary(self, config: IndexConfig):
+        raise IndexConfigError(
+            f"{self.name} has a fixed adjacency-list structure; "
+            "primary index reconfiguration is not supported"
+        )
+
+    def create_vertex_index(self, *args, **kwargs):
+        raise IndexConfigError(
+            f"{self.name} does not support secondary adjacency-list indexes"
+        )
+
+    def create_edge_index(self, *args, **kwargs):
+        raise IndexConfigError(
+            f"{self.name} does not support secondary adjacency-list indexes"
+        )
+
+    # ------------------------------------------------------------------
+    # querying (delegated)
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> PropertyGraph:
+        return self._db.graph
+
+    def plan(self, query: QueryGraph) -> QueryPlan:
+        return self._db.plan(query)
+
+    def run(self, query: Union[QueryGraph, QueryPlan], materialize: bool = False) -> QueryResult:
+        return self._db.run(query, materialize=materialize)
+
+    def count(self, query: Union[QueryGraph, QueryPlan]) -> int:
+        return self._db.count(query)
+
+    def memory_report(self):
+        return self._db.memory_report()
+
+    def describe(self) -> str:
+        return f"{self.name}: {self.fixed_config().describe()}"

@@ -1,0 +1,36 @@
+"""Neo4j-like baseline engine.
+
+Neo4j partitions each vertex's edges by edge label and stores them in a
+doubly-linked list of edge records (Section II of the paper), so adjacency
+lists are reachable per (vertex, edge label) but are not kept in any
+query-relevant sort order and cannot be re-partitioned or sorted by the user.
+The baseline therefore uses:
+
+* vertex-ID + edge-label partitioning (like the A+ default ``D``), and
+* insertion-order (edge-ID) "sorting", so any plan that wants to intersect
+  lists must sort them per access,
+
+and refuses reconfiguration and secondary indexes.  Absolute constants of the
+real system (JVM, page cache, record layout) are out of scope; the modelled
+difference is the index structure available to the planner.
+"""
+
+from __future__ import annotations
+
+from ..index.config import IndexConfig
+from ..storage.partition_keys import PartitionKey
+from ..storage.sort_keys import SortKey
+from .fixed_config import FixedConfigEngine
+
+
+class Neo4jLikeEngine(FixedConfigEngine):
+    """Fixed engine with label-partitioned, unsorted adjacency lists."""
+
+    name = "neo4j-like"
+
+    @classmethod
+    def fixed_config(cls) -> IndexConfig:
+        return IndexConfig(
+            partition_keys=(PartitionKey.edge_label(),),
+            sort_keys=(SortKey.edge_id(),),
+        )

@@ -1,0 +1,29 @@
+"""TigerGraph-like baseline engine.
+
+TigerGraph is, per the paper, "to the best of our knowledge, the most
+performant [commercial GDBMS] in terms of read performance"; its adjacency
+lists are partitioned by vertex and edge type and support fast expansion, but
+— like Neo4j — the structure is fixed: no user-tunable nested partitioning
+(e.g. by neighbour label or an edge property), no tunable sort orders, and no
+secondary adjacency-list indexes.
+
+The baseline therefore uses the same layout as GraphflowDB's default ``D``
+(edge-label partitioning, neighbour-ID sorting, which keeps it competitive on
+join-heavy queries) but refuses every tuning mechanism, so it cannot be
+adapted to a workload the way A+ indexes allow.
+"""
+
+from __future__ import annotations
+
+from ..index.config import IndexConfig
+from .fixed_config import FixedConfigEngine
+
+
+class TigerGraphLikeEngine(FixedConfigEngine):
+    """Fixed engine with label-partitioned, neighbour-ID-sorted lists."""
+
+    name = "tigergraph-like"
+
+    @classmethod
+    def fixed_config(cls) -> IndexConfig:
+        return IndexConfig.default()

@@ -1,0 +1,30 @@
+"""Benchmark harness helpers: paper configurations and table rendering."""
+
+from .harness import (
+    ConfiguredDatabase,
+    config_d,
+    config_dp,
+    config_ds,
+    database_with_primary_config,
+    fraud_configs,
+    magicrecs_configs,
+    maintenance_configs,
+    vpt_view_and_config,
+)
+from .reporting import Table, format_cell, ratio_string, speedup
+
+__all__ = [
+    "ConfiguredDatabase",
+    "Table",
+    "config_d",
+    "config_dp",
+    "config_ds",
+    "database_with_primary_config",
+    "format_cell",
+    "fraud_configs",
+    "magicrecs_configs",
+    "maintenance_configs",
+    "ratio_string",
+    "speedup",
+    "vpt_view_and_config",
+]

@@ -1,0 +1,85 @@
+"""Table formatting for the benchmark harness.
+
+Every benchmark prints a plain-text table that pairs the paper's reported
+numbers with the values measured by this reproduction, so the *shape* of each
+result (who wins, by roughly what factor, where the crossovers are) can be
+checked at a glance.  EXPERIMENTS.md snapshots this output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_cell(value: Cell) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        if value >= 1000:
+            return f"{value:,.0f}"
+        if value >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A simple fixed-width text table."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[List[Cell]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        rendered_rows = [[format_cell(cell) for cell in row] for row in self.rows]
+        widths = [len(str(column)) for column in self.columns]
+        for row in rendered_rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def render_line(cells: Sequence[str]) -> str:
+            return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+        lines = [self.title, "=" * max(len(self.title), 8)]
+        lines.append(render_line([str(c) for c in self.columns]))
+        lines.append(render_line(["-" * w for w in widths]))
+        for row in rendered_rows:
+            lines.append(render_line(row))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print()
+        print(self.render())
+        print()
+
+
+def speedup(baseline_seconds: float, seconds: float) -> Optional[float]:
+    """Baseline / measured runtime ratio (None when either is missing)."""
+    if baseline_seconds is None or seconds is None or seconds <= 0:
+        return None
+    return baseline_seconds / seconds
+
+
+def ratio_string(value: Optional[float]) -> str:
+    if value is None:
+        return "—"
+    return f"{value:.2f}x"

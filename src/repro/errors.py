@@ -1,0 +1,61 @@
+"""Exception hierarchy for the A+ indexes reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library-specific failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """Raised when labels, property names, or property types are misused."""
+
+
+class GraphBuildError(ReproError):
+    """Raised when a graph is constructed inconsistently.
+
+    Examples: an edge referencing a vertex that does not exist, adding data to
+    a graph that has already been finalized, or duplicate vertex identifiers.
+    """
+
+
+class IndexConfigError(ReproError):
+    """Raised for invalid index configurations.
+
+    Examples: partitioning on a non-categorical property, sorting on an
+    unknown property, or an edge-partitioned view whose predicate does not
+    reference both edges (the ``Redundant`` example in Section III-B2 of the
+    paper).
+    """
+
+
+class IndexLookupError(ReproError):
+    """Raised when an adjacency-list lookup is malformed.
+
+    Examples: looking up a vertex ID outside the graph, or supplying
+    partition-key values for levels that do not exist in the index.
+    """
+
+
+class DDLParseError(ReproError):
+    """Raised when an index DDL command cannot be parsed."""
+
+
+class QueryParseError(ReproError):
+    """Raised when a query pattern specification cannot be parsed."""
+
+
+class PlanningError(ReproError):
+    """Raised when the optimizer cannot produce a plan for a query."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a physical plan fails during execution."""
+
+
+class MaintenanceError(ReproError):
+    """Raised when an index update (insert/delete) cannot be applied."""

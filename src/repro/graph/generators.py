@@ -1,0 +1,329 @@
+"""Synthetic graph generators.
+
+The paper evaluates on four real-world graphs (Orkut, LiveJournal,
+Wiki-topcats, BerkStan; Table I) with randomly assigned vertex/edge labels and,
+for the fraud workload, randomly assigned account/city/amount/currency/date
+properties (Section V-C2).  Those graphs are hundreds of millions of edges and
+cannot be processed at full scale by a pure-Python engine, so this module
+provides deterministic, laptop-scale substitutes that preserve the structural
+features the paper's claims depend on:
+
+* skewed (power-law-like) degree distributions via a preferential-attachment
+  style generator,
+* small average degrees typical of real-world graphs (the property that makes
+  offset lists compact, Section III-B3),
+* uniformly random vertex/edge label assignment with configurable label counts
+  (the ``G_{i,j}`` notation of Table I), and
+* the financial property distributions of Section V-C2 (account type from
+  ``{CQ, SV}``, a city drawn from a configurable number of cities, an amount
+  in ``[1, 1000]``, a currency, and a date within a 5-year range).
+
+All generators take an explicit ``seed`` and are fully deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .graph import PropertyGraph
+from .property_store import PropertyStore
+from .schema import GraphSchema
+from .types import PropertyType
+
+#: Default categorical domains used by the financial workload (Section V-C2).
+ACCOUNT_TYPES = ("CQ", "SV")
+CURRENCIES = ("USD", "EUR", "GBP", "CAD")
+#: The paper samples cities from 4417 cities; a smaller default keeps the
+#: equality-join selectivity comparable at our reduced graph scale.
+DEFAULT_NUM_CITIES = 64
+#: Date range in integer days (5 years, Section V-C2).
+DATE_RANGE_DAYS = 5 * 365
+
+
+def _power_law_edges(
+    num_vertices: int,
+    num_edges: int,
+    rng: np.random.Generator,
+    skew: float = 0.75,
+) -> tuple:
+    """Generate edge endpoints with a skewed degree distribution.
+
+    A preferential-attachment-flavoured scheme: destination (and source)
+    vertices are sampled from a Zipf-like distribution over vertex IDs, then
+    shuffled through a fixed permutation so that vertex ID does not correlate
+    with degree (real datasets do not have that correlation either).
+
+    Returns:
+        (src, dst) int32 arrays of length ``num_edges``; self-loops are
+        remapped to a neighbouring vertex.
+    """
+    ranks = np.arange(1, num_vertices + 1, dtype=np.float64)
+    weights = ranks ** (-skew)
+    weights /= weights.sum()
+    permutation = rng.permutation(num_vertices)
+    src = permutation[rng.choice(num_vertices, size=num_edges, p=weights)]
+    dst = permutation[rng.choice(num_vertices, size=num_edges, p=weights)]
+    loops = src == dst
+    dst[loops] = (dst[loops] + 1) % num_vertices
+    return src.astype(np.int32), dst.astype(np.int32)
+
+
+def _uniform_edges(
+    num_vertices: int, num_edges: int, rng: np.random.Generator
+) -> tuple:
+    """Generate uniformly random edge endpoints (Erdos-Renyi-like)."""
+    src = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    dst = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    loops = src == dst
+    dst[loops] = (dst[loops] + 1) % num_vertices
+    return src.astype(np.int32), dst.astype(np.int32)
+
+
+@dataclass
+class LabelledGraphSpec:
+    """Parameters for :func:`generate_labelled_graph`.
+
+    Attributes:
+        num_vertices: number of vertices.
+        num_edges: number of edges.
+        num_vertex_labels: ``i`` in the paper's ``G_{i,j}`` notation.
+        num_edge_labels: ``j`` in the paper's ``G_{i,j}`` notation.
+        skew: degree-distribution skew exponent; 0 gives uniform degrees.
+        seed: RNG seed.
+    """
+
+    num_vertices: int
+    num_edges: int
+    num_vertex_labels: int = 1
+    num_edge_labels: int = 1
+    skew: float = 0.75
+    seed: int = 42
+
+
+def generate_labelled_graph(spec: LabelledGraphSpec) -> PropertyGraph:
+    """Generate a labelled graph per the paper's ``G_{i,j}`` methodology.
+
+    Vertex and edge labels are assigned uniformly at random, which is the
+    data-generation methodology of Section V-B (following prior subgraph-query
+    work).
+    """
+    rng = np.random.default_rng(spec.seed)
+    schema = GraphSchema()
+    for i in range(spec.num_vertex_labels):
+        schema.add_vertex_label(f"VL{i}")
+    for j in range(spec.num_edge_labels):
+        schema.add_edge_label(f"EL{j}")
+
+    if spec.skew > 0:
+        src, dst = _power_law_edges(spec.num_vertices, spec.num_edges, rng, spec.skew)
+    else:
+        src, dst = _uniform_edges(spec.num_vertices, spec.num_edges, rng)
+
+    vertex_labels = rng.integers(
+        0, spec.num_vertex_labels, size=spec.num_vertices, dtype=np.int32
+    )
+    edge_labels = rng.integers(
+        0, spec.num_edge_labels, size=spec.num_edges, dtype=np.int32
+    )
+
+    vertex_store = PropertyStore(schema, "vertex")
+    vertex_store.set_count(spec.num_vertices)
+    edge_store = PropertyStore(schema, "edge")
+    edge_store.set_count(spec.num_edges)
+
+    return PropertyGraph(
+        schema=schema,
+        vertex_labels=vertex_labels,
+        edge_src=src,
+        edge_dst=dst,
+        edge_labels=edge_labels,
+        vertex_props=vertex_store,
+        edge_props=edge_store,
+    )
+
+
+@dataclass
+class SocialGraphSpec:
+    """Parameters for :func:`generate_social_graph` (MagicRecs workload).
+
+    The MagicRecs queries (Section V-C1) run on follower graphs whose edges
+    carry a ``time`` property; the time predicate in the queries is tuned to
+    5% selectivity.
+    """
+
+    num_vertices: int
+    num_edges: int
+    skew: float = 0.75
+    time_range: int = 1_000_000
+    seed: int = 7
+
+
+def generate_social_graph(spec: SocialGraphSpec) -> PropertyGraph:
+    """Generate a follower graph with a ``time`` property on edges."""
+    rng = np.random.default_rng(spec.seed)
+    schema = GraphSchema()
+    schema.add_vertex_label("User")
+    schema.add_edge_label("Follows")
+    schema.add_edge_property("time", PropertyType.INT)
+
+    src, dst = _power_law_edges(spec.num_vertices, spec.num_edges, rng, spec.skew)
+    vertex_labels = np.zeros(spec.num_vertices, dtype=np.int32)
+    edge_labels = np.zeros(spec.num_edges, dtype=np.int32)
+
+    vertex_store = PropertyStore(schema, "vertex")
+    vertex_store.set_count(spec.num_vertices)
+    edge_store = PropertyStore(schema, "edge")
+    edge_store.set_count(spec.num_edges)
+    edge_store.set_column(
+        "time", rng.integers(0, spec.time_range, size=spec.num_edges, dtype=np.int64)
+    )
+
+    return PropertyGraph(
+        schema=schema,
+        vertex_labels=vertex_labels,
+        edge_src=src,
+        edge_dst=dst,
+        edge_labels=edge_labels,
+        vertex_props=vertex_store,
+        edge_props=edge_store,
+    )
+
+
+@dataclass
+class FinancialGraphSpec:
+    """Parameters for :func:`generate_financial_graph` (fraud workload).
+
+    Mirrors the data-augmentation methodology of Section V-C2: every vertex is
+    an account with an ``acc`` type from ``{CQ, SV}`` and a ``city``; every
+    edge is a transfer with label ``Wire`` or ``DirDeposit``, an ``amt`` in
+    ``[1, 1000]``, a ``currency``, and a ``date`` within a 5-year range.
+    """
+
+    num_vertices: int
+    num_edges: int
+    num_cities: int = DEFAULT_NUM_CITIES
+    skew: float = 0.75
+    seed: int = 11
+
+
+def generate_financial_graph(spec: FinancialGraphSpec) -> PropertyGraph:
+    """Generate a financial transfer graph for the fraud workload."""
+    rng = np.random.default_rng(spec.seed)
+    cities = tuple(f"city{i}" for i in range(spec.num_cities))
+
+    schema = GraphSchema()
+    schema.add_vertex_label("Account")
+    schema.add_edge_label("Wire")
+    schema.add_edge_label("DirDeposit")
+    schema.add_vertex_property("acc", PropertyType.CATEGORICAL, ACCOUNT_TYPES)
+    schema.add_vertex_property("city", PropertyType.CATEGORICAL, cities)
+    schema.add_edge_property("amt", PropertyType.INT)
+    schema.add_edge_property("date", PropertyType.INT)
+    schema.add_edge_property("currency", PropertyType.CATEGORICAL, CURRENCIES)
+
+    src, dst = _power_law_edges(spec.num_vertices, spec.num_edges, rng, spec.skew)
+    vertex_labels = np.zeros(spec.num_vertices, dtype=np.int32)
+    edge_labels = rng.integers(0, 2, size=spec.num_edges, dtype=np.int32)
+
+    vertex_store = PropertyStore(schema, "vertex")
+    vertex_store.set_count(spec.num_vertices)
+    vertex_store.set_column(
+        "acc", rng.integers(0, len(ACCOUNT_TYPES), size=spec.num_vertices)
+    )
+    vertex_store.set_column(
+        "city", rng.integers(0, spec.num_cities, size=spec.num_vertices)
+    )
+
+    edge_store = PropertyStore(schema, "edge")
+    edge_store.set_count(spec.num_edges)
+    edge_store.set_column("amt", rng.integers(1, 1001, size=spec.num_edges))
+    edge_store.set_column("date", rng.integers(0, DATE_RANGE_DAYS, size=spec.num_edges))
+    edge_store.set_column(
+        "currency", rng.integers(0, len(CURRENCIES), size=spec.num_edges)
+    )
+
+    return PropertyGraph(
+        schema=schema,
+        vertex_labels=vertex_labels,
+        edge_src=src,
+        edge_dst=dst,
+        edge_labels=edge_labels,
+        vertex_props=vertex_store,
+        edge_props=edge_store,
+    )
+
+
+def running_example_graph() -> PropertyGraph:
+    """Build the paper's running example graph (Figure 1).
+
+    Five ``Account`` vertices (v1..v5), three ``Customer`` vertices (v6..v8),
+    ``Owns`` edges from customers to accounts, and twenty transfer edges
+    t1..t20 with ``Wire``/``DirDeposit`` labels, amounts, currencies and dates
+    (``ti.date < tj.date`` iff ``i < j``).  Useful for examples and tests that
+    mirror the figures in the paper.
+    """
+    from .builder import GraphBuilder
+
+    builder = GraphBuilder()
+    builder.declare_edge_property("currency", PropertyType.CATEGORICAL)
+    builder.declare_vertex_property("city", PropertyType.CATEGORICAL)
+    builder.declare_vertex_property("acc", PropertyType.CATEGORICAL)
+
+    accounts = {
+        "v1": dict(acc="SV", city="SF"),
+        "v2": dict(acc="CQ", city="SF"),
+        "v3": dict(acc="SV", city="BOS"),
+        "v4": dict(acc="CQ", city="BOS"),
+        "v5": dict(acc="SV", city="LA"),
+    }
+    for key, props in accounts.items():
+        builder.add_vertex("Account", key=key, **props)
+    for key, name in (("v6", "Charles"), ("v7", "Alice"), ("v8", "Bob")):
+        builder.add_vertex("Customer", key=key, name=name)
+
+    # Customer ownership edges e1..e5 (assignment consistent with Figure 1's
+    # description: Alice owns v1, and the remaining accounts are covered).
+    owns = [("v7", "v1"), ("v7", "v2"), ("v6", "v3"), ("v8", "v4"), ("v8", "v5")]
+    for customer, account in owns:
+        builder.add_edge(
+            builder.vertex_id(customer), builder.vertex_id(account), "Owns"
+        )
+
+    # Transfer edges t1..t20.  Amounts/currencies follow Figure 1; dates are
+    # the transfer's ordinal so that ti.date < tj.date iff i < j.
+    transfers = [
+        ("t1", "DD", "v1", "v2", 40, "USD"),
+        ("t2", "DD", "v3", "v1", 20, "GBP"),
+        ("t3", "DD", "v3", "v1", 200, "USD"),
+        ("t4", "W", "v1", "v3", 200, "EUR"),
+        ("t5", "W", "v4", "v2", 50, "USD"),
+        ("t6", "DD", "v4", "v2", 70, "USD"),
+        ("t7", "DD", "v2", "v4", 75, "USD"),
+        ("t8", "W", "v2", "v4", 75, "USD"),
+        ("t9", "W", "v3", "v4", 75, "USD"),
+        ("t10", "DD", "v3", "v4", 80, "USD"),
+        ("t11", "W", "v4", "v3", 5, "EUR"),
+        ("t12", "DD", "v4", "v3", 50, "USD"),
+        ("t13", "DD", "v2", "v5", 10, "GBP"),
+        ("t14", "W", "v5", "v4", 10, "USD"),
+        ("t15", "DD", "v1", "v2", 25, "USD"),
+        ("t16", "DD", "v5", "v3", 195, "USD"),
+        ("t17", "W", "v1", "v2", 25, "EUR"),
+        ("t18", "DD", "v1", "v5", 30, "EUR"),
+        ("t19", "W", "v5", "v3", 5, "GBP"),
+        ("t20", "W", "v1", "v4", 80, "USD"),
+    ]
+    label_names = {"W": "Wire", "DD": "DirDeposit"}
+    for ordinal, (_, label, src, dst, amount, currency) in enumerate(transfers, 1):
+        builder.add_edge(
+            builder.vertex_id(src),
+            builder.vertex_id(dst),
+            label_names[label],
+            amt=amount,
+            currency=currency,
+            date=ordinal,
+        )
+    return builder.build()

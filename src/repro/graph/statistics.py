@@ -1,0 +1,126 @@
+"""Catalog statistics over a property graph.
+
+The DP optimizer's i-cost model (Section IV-A) estimates the sizes of the
+adjacency lists a plan will access.  :class:`GraphStatistics` precomputes the
+degree and label-selectivity statistics the cost model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from .graph import PropertyGraph
+from .types import Direction
+
+
+@dataclass
+class DegreeSummary:
+    """Summary statistics of a degree distribution."""
+
+    mean: float
+    maximum: int
+    p50: float
+    p90: float
+    p99: float
+
+    @classmethod
+    def from_degrees(cls, degrees: np.ndarray) -> "DegreeSummary":
+        if len(degrees) == 0:
+            return cls(0.0, 0, 0.0, 0.0, 0.0)
+        return cls(
+            mean=float(degrees.mean()),
+            maximum=int(degrees.max()),
+            p50=float(np.percentile(degrees, 50)),
+            p90=float(np.percentile(degrees, 90)),
+            p99=float(np.percentile(degrees, 99)),
+        )
+
+
+class GraphStatistics:
+    """Degree and label statistics used by the query optimizer.
+
+    All quantities are computed once at construction; the class is cheap to
+    keep around for the lifetime of a database instance.
+    """
+
+    def __init__(self, graph: PropertyGraph) -> None:
+        self.graph = graph
+        self._out_degrees = graph.out_degree()
+        self._in_degrees = graph.in_degree()
+        self.out_summary = DegreeSummary.from_degrees(self._out_degrees)
+        self.in_summary = DegreeSummary.from_degrees(self._in_degrees)
+
+        num_edges = max(graph.num_edges, 1)
+        num_vertices = max(graph.num_vertices, 1)
+
+        self._edge_label_counts: Dict[int, int] = {}
+        labels, counts = np.unique(graph.edge_labels, return_counts=True)
+        for label, count in zip(labels, counts):
+            self._edge_label_counts[int(label)] = int(count)
+
+        self._vertex_label_counts: Dict[int, int] = {}
+        labels, counts = np.unique(graph.vertex_labels, return_counts=True)
+        for label, count in zip(labels, counts):
+            self._vertex_label_counts[int(label)] = int(count)
+
+        self._num_edges = graph.num_edges
+        self._num_vertices = graph.num_vertices
+        self._avg_out_degree = graph.num_edges / num_vertices
+        self._avg_in_degree = graph.num_edges / num_vertices
+
+    # ------------------------------------------------------------------
+    # selectivities
+    # ------------------------------------------------------------------
+    def edge_label_selectivity(self, label_code: Optional[int]) -> float:
+        """Fraction of edges carrying ``label_code`` (1.0 if None)."""
+        if label_code is None:
+            return 1.0
+        if self._num_edges == 0:
+            return 0.0
+        return self._edge_label_counts.get(label_code, 0) / self._num_edges
+
+    def vertex_label_selectivity(self, label_code: Optional[int]) -> float:
+        """Fraction of vertices carrying ``label_code`` (1.0 if None)."""
+        if label_code is None:
+            return 1.0
+        if self._num_vertices == 0:
+            return 0.0
+        return self._vertex_label_counts.get(label_code, 0) / self._num_vertices
+
+    def vertices_with_label(self, label_code: Optional[int]) -> int:
+        if label_code is None:
+            return self._num_vertices
+        return self._vertex_label_counts.get(label_code, 0)
+
+    # ------------------------------------------------------------------
+    # expected adjacency-list sizes
+    # ------------------------------------------------------------------
+    def average_degree(
+        self,
+        direction: Direction,
+        edge_label_code: Optional[int] = None,
+        extra_selectivity: float = 1.0,
+    ) -> float:
+        """Expected size of one adjacency list.
+
+        Args:
+            direction: FORWARD for out-lists, BACKWARD for in-lists.
+            edge_label_code: restrict to this edge label (None = all labels).
+            extra_selectivity: multiplicative selectivity of any further
+                predicates on the list (e.g. a 5%-selective time predicate).
+        """
+        base = (
+            self._avg_out_degree
+            if direction is Direction.FORWARD
+            else self._avg_in_degree
+        )
+        return base * self.edge_label_selectivity(edge_label_code) * extra_selectivity
+
+    def describe(self) -> str:
+        return (
+            f"GraphStatistics(|V|={self._num_vertices:,}, |E|={self._num_edges:,}, "
+            f"out={self.out_summary}, in={self.in_summary})"
+        )

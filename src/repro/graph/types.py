@@ -1,0 +1,113 @@
+"""Shared type definitions and constants for the property-graph substrate.
+
+The reproduction follows GraphflowDB's storage conventions described in
+Section IV-B of the paper:
+
+* vertex IDs are dense 4-byte integers assigned consecutively from 0,
+* edge IDs are dense 8-byte integers assigned consecutively from 0,
+* categorical properties (used as partitioning keys) are dictionary-coded to
+  small non-negative integers, with ``NULL_CATEGORY`` reserved for missing
+  values (the paper: "Edges with null property values form a special
+  partition").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+import numpy as np
+
+# Dtypes used throughout the storage layer.  Edge IDs are stored as 8-byte
+# integers and neighbour vertex IDs as 4-byte integers, matching the byte
+# accounting in Section IV-B of the paper.
+VERTEX_ID_DTYPE = np.int32
+EDGE_ID_DTYPE = np.int64
+OFFSET_DTYPE = np.int64
+
+#: Number of bytes charged per neighbour-vertex-ID entry in ID lists.
+VERTEX_ID_BYTES = 4
+#: Number of bytes charged per edge-ID entry in ID lists.
+EDGE_ID_BYTES = 8
+#: Number of bytes charged per CSR offset entry in partitioning levels.
+CSR_OFFSET_BYTES = 4
+
+#: Vertices/edges per page for offset-list byte-width selection (Section IV-B:
+#: "a CSR for groups of 64 vertices ... one data page for each group").
+PAGE_SIZE = 64
+
+#: Sentinel integer code for a missing (null) categorical value.  Nulls form
+#: their own partition and are ordered last when used as a sort key.
+NULL_CATEGORY = -1
+
+#: Sentinel used for missing numeric property values.
+NULL_INT = np.iinfo(np.int64).min
+
+PropertyValue = Union[int, float, str, bool, None]
+
+
+class PropertyType(enum.Enum):
+    """Type of a vertex or edge property column.
+
+    ``CATEGORICAL`` columns are dictionary-coded to small integers and are the
+    only columns allowed as partitioning keys of an A+ index.  ``INT``,
+    ``FLOAT`` and ``STRING`` columns may be used in predicates and as sorting
+    keys.
+    """
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    CATEGORICAL = "categorical"
+
+
+class Direction(enum.Enum):
+    """Direction of an adjacency-list index relative to its bound vertex.
+
+    ``FORWARD`` lists contain the out-edges of the bound vertex (neighbours
+    are edge destinations); ``BACKWARD`` lists contain the in-edges
+    (neighbours are edge sources).
+    """
+
+    FORWARD = "fw"
+    BACKWARD = "bw"
+
+    @property
+    def reverse(self) -> "Direction":
+        """Return the opposite direction."""
+        if self is Direction.FORWARD:
+            return Direction.BACKWARD
+        return Direction.FORWARD
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class EdgeAdjacencyType(enum.Enum):
+    """The four ways an edge's adjacency can be defined (Section III-B2).
+
+    For a bound edge ``eb = (vs, vd)``:
+
+    * ``DST_FW``:  ``vs -[eb]-> vd -[eadj]-> vnbr``  (forward edges of ``vd``)
+    * ``DST_BW``:  ``vs -[eb]-> vd <-[eadj]- vnbr``  (backward edges of ``vd``)
+    * ``SRC_FW``:  ``vnbr -[eadj]-> vs -[eb]-> vd``  (backward edges of ``vs``
+      in terms of the join, i.e. edges whose destination is ``vs``)
+    * ``SRC_BW``:  ``vnbr <-[eadj]- vs -[eb]-> vd``  (forward edges of ``vs``)
+    """
+
+    DST_FW = "destination-fw"
+    DST_BW = "destination-bw"
+    SRC_FW = "source-fw"
+    SRC_BW = "source-bw"
+
+    @property
+    def bound_endpoint_is_destination(self) -> bool:
+        """True if adjacency is anchored on the bound edge's destination."""
+        return self in (EdgeAdjacencyType.DST_FW, EdgeAdjacencyType.DST_BW)
+
+    @property
+    def adjacency_direction(self) -> Direction:
+        """Direction of the adjacent edges relative to the shared vertex."""
+        if self in (EdgeAdjacencyType.DST_FW, EdgeAdjacencyType.SRC_BW):
+            return Direction.FORWARD
+        return Direction.BACKWARD

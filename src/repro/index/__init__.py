@@ -1,0 +1,41 @@
+"""A+ index subsystem: primary, vertex-partitioned, and edge-partitioned indexes."""
+
+from .bitmap import BitmapSecondaryIndex
+from .config import IndexConfig
+from .ddl import (
+    CreateOneHopCommand,
+    CreateTwoHopCommand,
+    DDLCommand,
+    ReconfigurePrimaryCommand,
+    parse_ddl,
+    parse_where,
+)
+from .edge_partitioned import EdgePartitionedIndex
+from .index_store import AccessPath, IndexStore
+from .maintenance import IndexMaintainer, MaintenanceStats, PendingEdge
+from .primary import AdjacencyIndex, PrimaryIndex, ReconfigurationResult
+from .vertex_partitioned import VertexPartitionedIndex
+from .views import OneHopView, TwoHopView
+
+__all__ = [
+    "AccessPath",
+    "AdjacencyIndex",
+    "BitmapSecondaryIndex",
+    "CreateOneHopCommand",
+    "CreateTwoHopCommand",
+    "DDLCommand",
+    "EdgePartitionedIndex",
+    "IndexConfig",
+    "IndexMaintainer",
+    "IndexStore",
+    "MaintenanceStats",
+    "OneHopView",
+    "PendingEdge",
+    "PrimaryIndex",
+    "ReconfigurationResult",
+    "ReconfigurePrimaryCommand",
+    "TwoHopView",
+    "VertexPartitionedIndex",
+    "parse_ddl",
+    "parse_where",
+]

@@ -1,0 +1,242 @@
+"""Parser for the A+ index DDL commands used in the paper.
+
+Three commands are supported, mirroring Sections III-A and III-B:
+
+* ``RECONFIGURE PRIMARY INDEXES PARTITION BY ... SORT BY ...``
+* ``CREATE 1-HOP VIEW <name> MATCH vs-[eadj(:L)]->vd WHERE ...
+  INDEX AS FW|BW|FW-BW PARTITION BY ... SORT BY ...``
+* ``CREATE 2-HOP VIEW <name> MATCH <2-path with eb and eadj> WHERE ...
+  INDEX AS PARTITION BY ... SORT BY ...``
+
+The WHERE clause is a comma-separated conjunction of comparisons between
+``var.prop`` references and constants or other references.  The position of
+``eb`` in the 2-hop MATCH pattern determines the adjacency type
+(Destination-FW/BW, Source-FW/BW), exactly as in the paper's examples.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from ..errors import DDLParseError
+from ..graph.types import Direction, EdgeAdjacencyType
+from ..predicates import Comparison, Constant, Predicate, PropertyRef, cmp
+from ..storage.partition_keys import PartitionKey
+from ..storage.sort_keys import SortKey
+from .config import IndexConfig
+from .views import OneHopView, TwoHopView
+
+
+@dataclass
+class ReconfigurePrimaryCommand:
+    """Parsed ``RECONFIGURE PRIMARY INDEXES`` command."""
+
+    config: IndexConfig
+
+
+@dataclass
+class CreateOneHopCommand:
+    """Parsed ``CREATE 1-HOP VIEW`` command."""
+
+    view: OneHopView
+    directions: Tuple[Direction, ...]
+    config: IndexConfig
+
+
+@dataclass
+class CreateTwoHopCommand:
+    """Parsed ``CREATE 2-HOP VIEW`` command."""
+
+    view: TwoHopView
+    config: IndexConfig
+
+
+DDLCommand = Union[ReconfigurePrimaryCommand, CreateOneHopCommand, CreateTwoHopCommand]
+
+_COMPARISON_RE = re.compile(
+    r"^\s*(?P<left>[A-Za-z_][\w]*\.[A-Za-z_][\w]*)\s*"
+    r"(?P<op><=|>=|<>|!=|=|<|>)\s*"
+    r"(?P<right>.+?)\s*$"
+)
+_REF_RE = re.compile(r"^[A-Za-z_][\w]*\.[A-Za-z_][\w]*$")
+
+
+def _parse_operand(text: str):
+    text = text.strip()
+    if _REF_RE.match(text):
+        var, prop = text.split(".", 1)
+        return PropertyRef(var, prop)
+    if text.startswith("'") and text.endswith("'") or text.startswith('"') and text.endswith('"'):
+        return Constant(text[1:-1])
+    try:
+        return Constant(int(text))
+    except ValueError:
+        pass
+    try:
+        return Constant(float(text))
+    except ValueError:
+        pass
+    return Constant(text)
+
+
+def parse_comparison(text: str) -> Comparison:
+    """Parse one comparison of a WHERE clause."""
+    match = _COMPARISON_RE.match(text)
+    if not match:
+        raise DDLParseError(f"cannot parse comparison {text!r}")
+    var, prop = match.group("left").split(".", 1)
+    left = PropertyRef(var, prop)
+    right = _parse_operand(match.group("right"))
+    return cmp(left, match.group("op").replace("!=", "<>"), right)
+
+
+def parse_where(text: str) -> Predicate:
+    """Parse a comma- or AND-separated conjunction of comparisons."""
+    text = text.strip()
+    if not text:
+        return Predicate.true()
+    parts = re.split(r",|\bAND\b|&", text, flags=re.IGNORECASE)
+    return Predicate(parse_comparison(part) for part in parts if part.strip())
+
+
+def _parse_partition_by(text: Optional[str]) -> Tuple[PartitionKey, ...]:
+    if not text:
+        return ()
+    return tuple(PartitionKey.parse(part) for part in text.split(",") if part.strip())
+
+
+def _parse_sort_by(text: Optional[str]) -> Tuple[SortKey, ...]:
+    if not text:
+        return (SortKey.neighbour_id(),)
+    return tuple(SortKey.parse(part) for part in text.split(",") if part.strip())
+
+
+def _extract_clause(command: str, keyword: str, terminators: List[str]) -> Optional[str]:
+    """Extract the text following ``keyword`` up to the next terminator keyword."""
+    pattern = re.compile(rf"\b{keyword}\b(.*?)(?={'|'.join(terminators)}|$)", re.IGNORECASE | re.DOTALL)
+    match = pattern.search(command)
+    if not match:
+        return None
+    return match.group(1).strip()
+
+
+_TERMINATORS = [r"\bPARTITION\s+BY\b", r"\bSORT\s+BY\b", r"\bINDEX\s+AS\b", r"\bWHERE\b", r"\bMATCH\b"]
+
+
+def _parse_config(command: str) -> IndexConfig:
+    partition_text = _extract_clause(command, r"PARTITION\s+BY", _TERMINATORS)
+    sort_text = _extract_clause(command, r"SORT\s+BY", _TERMINATORS)
+    return IndexConfig(
+        partition_keys=_parse_partition_by(partition_text),
+        sort_keys=_parse_sort_by(sort_text),
+    )
+
+
+# ----------------------------------------------------------------------
+# MATCH-pattern parsing for view definitions
+# ----------------------------------------------------------------------
+_ONE_HOP_MATCH_RE = re.compile(
+    r"vs\s*-\s*\[\s*eadj\s*(?::\s*(?P<label>\w+))?\s*\]\s*->\s*vd",
+    re.IGNORECASE,
+)
+
+#: 2-hop MATCH patterns and the adjacency type each implies (Section III-B2).
+_TWO_HOP_PATTERNS = [
+    # Destination-FW: vs-[eb]->vd-[eadj]->vnbr
+    (
+        re.compile(
+            r"vs\s*-\s*\[\s*eb\s*\]\s*->\s*vd\s*-\s*\[\s*eadj\s*\]\s*->\s*vnbr",
+            re.IGNORECASE,
+        ),
+        EdgeAdjacencyType.DST_FW,
+    ),
+    # Destination-BW: vs-[eb]->vd<-[eadj]-vnbr
+    (
+        re.compile(
+            r"vs\s*-\s*\[\s*eb\s*\]\s*->\s*vd\s*<-\s*\[\s*eadj\s*\]\s*-\s*vnbr",
+            re.IGNORECASE,
+        ),
+        EdgeAdjacencyType.DST_BW,
+    ),
+    # Source-FW: vnbr-[eadj]->vs-[eb]->vd
+    (
+        re.compile(
+            r"vnbr\s*-\s*\[\s*eadj\s*\]\s*->\s*vs\s*-\s*\[\s*eb\s*\]\s*->\s*vd",
+            re.IGNORECASE,
+        ),
+        EdgeAdjacencyType.SRC_FW,
+    ),
+    # Source-BW: vnbr<-[eadj]-vs-[eb]->vd
+    (
+        re.compile(
+            r"vnbr\s*<-\s*\[\s*eadj\s*\]\s*-\s*vs\s*-\s*\[\s*eb\s*\]\s*->\s*vd",
+            re.IGNORECASE,
+        ),
+        EdgeAdjacencyType.SRC_BW,
+    ),
+]
+
+
+def _parse_directions(command: str) -> Tuple[Direction, ...]:
+    index_as = _extract_clause(command, r"INDEX\s+AS", _TERMINATORS)
+    if not index_as:
+        return (Direction.FORWARD,)
+    text = index_as.strip().upper().replace(" ", "")
+    if text in ("FW-BW", "FW−BW", "BW-FW", "FWBW"):
+        return (Direction.FORWARD, Direction.BACKWARD)
+    if text == "FW":
+        return (Direction.FORWARD,)
+    if text == "BW":
+        return (Direction.BACKWARD,)
+    if not text:
+        return (Direction.FORWARD,)
+    raise DDLParseError(f"cannot parse INDEX AS directions {index_as!r}")
+
+
+def parse_ddl(command: str) -> DDLCommand:
+    """Parse one DDL command string into a command object."""
+    stripped = command.strip()
+    upper = stripped.upper()
+
+    if upper.startswith("RECONFIGURE"):
+        config = _parse_config(stripped)
+        return ReconfigurePrimaryCommand(config=config)
+
+    one_hop = re.match(r"CREATE\s+1\s*-\s*HOP\s+VIEW\s+(\w+)", stripped, re.IGNORECASE)
+    if one_hop:
+        name = one_hop.group(1)
+        match_text = _extract_clause(stripped, r"MATCH", _TERMINATORS) or ""
+        label = None
+        label_match = _ONE_HOP_MATCH_RE.search(match_text)
+        if label_match:
+            label = label_match.group("label")
+        where_text = _extract_clause(stripped, r"WHERE", _TERMINATORS) or ""
+        predicate = parse_where(where_text)
+        view = OneHopView(name=name, predicate=predicate, edge_label=label)
+        return CreateOneHopCommand(
+            view=view,
+            directions=_parse_directions(stripped),
+            config=_parse_config(stripped),
+        )
+
+    two_hop = re.match(r"CREATE\s+2\s*-\s*HOP\s+VIEW\s+(\w+)", stripped, re.IGNORECASE)
+    if two_hop:
+        name = two_hop.group(1)
+        match_text = _extract_clause(stripped, r"MATCH", _TERMINATORS) or ""
+        adjacency = None
+        for pattern, adjacency_type in _TWO_HOP_PATTERNS:
+            if pattern.search(match_text):
+                adjacency = adjacency_type
+                break
+        if adjacency is None:
+            raise DDLParseError(
+                f"cannot determine adjacency type from MATCH pattern {match_text!r}"
+            )
+        where_text = _extract_clause(stripped, r"WHERE", _TERMINATORS) or ""
+        predicate = parse_where(where_text)
+        view = TwoHopView(name=name, adjacency=adjacency, predicate=predicate)
+        return CreateTwoHopCommand(view=view, config=_parse_config(stripped))
+
+    raise DDLParseError(f"unrecognized DDL command: {stripped[:80]!r}")

@@ -1,0 +1,67 @@
+"""Query processing: patterns, predicates, operators, optimizer, executor."""
+
+from .binding import MatchBatch, concat_batches
+from .engine import Database, IndexCreationResult
+from .executor import Executor, QueryResult
+from .naive import NaiveMatcher
+from .operators import (
+    ExecutionContext,
+    ExecutionStats,
+    ExtendIntersect,
+    ExtensionLeg,
+    Filter,
+    MultiExtend,
+    ScanVertices,
+    SortedRangeFilter,
+)
+from .optimizer import CostModel, Optimizer
+from .pattern import QueryEdge, QueryGraph, QueryVertex
+from .plan import QueryPlan
+from .predicates import (
+    CompareOp,
+    Comparison,
+    Constant,
+    Predicate,
+    PropertyRef,
+    cmp,
+    comparison_subsumes,
+    const,
+    predicate_subsumes,
+    prop,
+    residual_conjuncts,
+)
+
+__all__ = [
+    "CompareOp",
+    "Comparison",
+    "Constant",
+    "CostModel",
+    "Database",
+    "ExecutionContext",
+    "ExecutionStats",
+    "Executor",
+    "ExtendIntersect",
+    "ExtensionLeg",
+    "Filter",
+    "IndexCreationResult",
+    "MatchBatch",
+    "MultiExtend",
+    "NaiveMatcher",
+    "Optimizer",
+    "Predicate",
+    "PropertyRef",
+    "QueryEdge",
+    "QueryGraph",
+    "QueryPlan",
+    "QueryResult",
+    "QueryVertex",
+    "ScanVertices",
+    "SortedRangeFilter",
+    "cmp",
+    "comparison_subsumes",
+    "concat_batches",
+    "const",
+    "predicate_subsumes",
+    "prop",
+    "residual_conjuncts",
+]

@@ -1,0 +1,131 @@
+"""Partial-match batches flowing between physical operators.
+
+A :class:`MatchBatch` is a column-oriented set of partial matches: one numpy
+int64 column per bound query variable (vertex or edge), all of equal length.
+Operators consume and produce batches; representing matches columnar keeps the
+per-tuple Python overhead of the interpreter-based executor manageable and
+allows predicates to be evaluated vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional
+
+import numpy as np
+
+from ..errors import ExecutionError
+
+#: Default number of partial matches per batch.
+DEFAULT_BATCH_SIZE = 1024
+
+
+class MatchBatch:
+    """A column-oriented batch of partial matches."""
+
+    def __init__(self, columns: Dict[str, np.ndarray]) -> None:
+        lengths = {len(col) for col in columns.values()}
+        if len(lengths) > 1:
+            raise ExecutionError(f"ragged match batch: column lengths {lengths}")
+        self._columns = {
+            name: np.asarray(col, dtype=np.int64) for name, col in columns.items()
+        }
+        self._length = lengths.pop() if lengths else 0
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, variables: Iterable[str]) -> "MatchBatch":
+        return cls({name: np.empty(0, dtype=np.int64) for name in variables})
+
+    @classmethod
+    def single_column(cls, name: str, values: np.ndarray) -> "MatchBatch":
+        return cls({name: np.asarray(values, dtype=np.int64)})
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def variables(self) -> List[str]:
+        return list(self._columns)
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError as exc:
+            raise ExecutionError(f"variable {name!r} is not bound in this batch") from exc
+
+    def has_variable(self, name: str) -> bool:
+        return name in self._columns
+
+    def row(self, index: int) -> Dict[str, int]:
+        """Return one partial match as a plain dict (used by tests/debugging)."""
+        return {name: int(col[index]) for name, col in self._columns.items()}
+
+    def iter_rows(self) -> Iterator[Dict[str, int]]:
+        for index in range(self._length):
+            yield self.row(index)
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def select(self, mask: np.ndarray) -> "MatchBatch":
+        """Keep only the rows where ``mask`` is True."""
+        return MatchBatch({name: col[mask] for name, col in self._columns.items()})
+
+    def repeat(self, counts: np.ndarray) -> "MatchBatch":
+        """Repeat row ``i`` ``counts[i]`` times (the extend/explode step)."""
+        return MatchBatch(
+            {name: np.repeat(col, counts) for name, col in self._columns.items()}
+        )
+
+    def with_columns(self, new_columns: Mapping[str, np.ndarray]) -> "MatchBatch":
+        """Return a batch with additional bound variables."""
+        merged = dict(self._columns)
+        for name, col in new_columns.items():
+            if name in merged:
+                raise ExecutionError(f"variable {name!r} is already bound")
+            merged[name] = np.asarray(col, dtype=np.int64)
+        return MatchBatch(merged)
+
+    def concat(self, other: "MatchBatch") -> "MatchBatch":
+        if set(self._columns) != set(other._columns):
+            raise ExecutionError("cannot concatenate batches with different variables")
+        return MatchBatch(
+            {
+                name: np.concatenate([col, other._columns[name]])
+                for name, col in self._columns.items()
+            }
+        )
+
+    def split(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator["MatchBatch"]:
+        """Yield consecutive sub-batches of at most ``batch_size`` rows."""
+        if self._length <= batch_size:
+            yield self
+            return
+        for start in range(0, self._length, batch_size):
+            yield MatchBatch(
+                {
+                    name: col[start : start + batch_size]
+                    for name, col in self._columns.items()
+                }
+            )
+
+    def to_dicts(self) -> List[Dict[str, int]]:
+        return list(self.iter_rows())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MatchBatch(vars={self.variables}, rows={self._length})"
+
+
+def concat_batches(batches: List[MatchBatch]) -> Optional[MatchBatch]:
+    """Concatenate a list of batches (None for an empty list)."""
+    if not batches:
+        return None
+    result = batches[0]
+    for batch in batches[1:]:
+        result = result.concat(batch)
+    return result

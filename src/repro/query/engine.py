@@ -1,0 +1,197 @@
+"""The top-level database facade.
+
+:class:`Database` wires the pieces together the way GraphflowDB does in the
+paper: a property graph, the primary A+ indexes, the INDEX STORE with any
+secondary indexes, the DP optimizer, and the batch executor.  It also applies
+the index DDL commands (``RECONFIGURE PRIMARY INDEXES``, ``CREATE 1-HOP
+VIEW``, ``CREATE 2-HOP VIEW``).
+
+Example:
+    >>> from repro import Database
+    >>> from repro.graph import running_example_graph
+    >>> db = Database(running_example_graph())
+    >>> db.execute_ddl(
+    ...     "CREATE 1-HOP VIEW UsdWires "
+    ...     "MATCH vs-[eadj:Wire]->vd WHERE eadj.currency = USD "
+    ...     "INDEX AS FW PARTITION BY eadj.label SORT BY vnbr.ID"
+    ... )
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import DDLParseError
+from ..graph.graph import PropertyGraph
+from ..graph.types import Direction
+from ..index.config import IndexConfig
+from ..index.ddl import (
+    CreateOneHopCommand,
+    CreateTwoHopCommand,
+    ReconfigurePrimaryCommand,
+    parse_ddl,
+)
+from ..index.edge_partitioned import EdgePartitionedIndex
+from ..index.index_store import IndexStore
+from ..index.maintenance import IndexMaintainer
+from ..index.primary import PrimaryIndex, ReconfigurationResult
+from ..index.vertex_partitioned import VertexPartitionedIndex
+from ..index.views import OneHopView, TwoHopView
+from ..storage.memory import MemoryReport
+from .executor import Executor, QueryResult
+from .optimizer import Optimizer
+from .pattern import QueryGraph
+from .plan import QueryPlan
+
+
+@dataclass
+class IndexCreationResult:
+    """Outcome of creating one or more secondary indexes."""
+
+    names: List[str]
+    seconds: float
+    indexed_edges: int
+
+
+class Database:
+    """An in-memory GDBMS instance with a tunable A+ indexing subsystem."""
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        primary_config: Optional[IndexConfig] = None,
+        batch_size: int = 1024,
+    ) -> None:
+        self._primary = PrimaryIndex(graph, config=primary_config)
+        self.store = IndexStore(graph, self._primary)
+        self.batch_size = batch_size
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> PropertyGraph:
+        """The current graph (follows index maintenance merges)."""
+        return self.store.graph
+
+    @property
+    def primary_index(self) -> PrimaryIndex:
+        return self.store.primary
+
+    def executor(self) -> Executor:
+        return Executor(self.graph, batch_size=self.batch_size)
+
+    def optimizer(self) -> Optimizer:
+        return Optimizer(self.store)
+
+    def maintainer(self, merge_threshold: int = 4096) -> IndexMaintainer:
+        return IndexMaintainer(self.store, merge_threshold=merge_threshold)
+
+    # ------------------------------------------------------------------
+    # index management
+    # ------------------------------------------------------------------
+    def reconfigure_primary(self, config: IndexConfig) -> ReconfigurationResult:
+        """Rebuild the primary A+ indexes under a new configuration."""
+        return self.store.primary.reconfigure(config)
+
+    def create_vertex_index(
+        self,
+        view: OneHopView,
+        directions: Sequence[Direction] = (Direction.FORWARD,),
+        config: Optional[IndexConfig] = None,
+        name: Optional[str] = None,
+    ) -> IndexCreationResult:
+        """Create (and register) a secondary vertex-partitioned index."""
+        config = config or IndexConfig.default()
+        started = time.perf_counter()
+        names: List[str] = []
+        indexed = 0
+        for direction in directions:
+            index_name = name
+            if index_name is not None and len(directions) > 1:
+                index_name = f"{name}-{direction.value}"
+            index = VertexPartitionedIndex(
+                self.graph,
+                view,
+                direction,
+                config,
+                self.store.primary.for_direction(direction),
+                name=index_name,
+            )
+            self.store.register_vertex_index(index)
+            names.append(index.name)
+            indexed += index.num_indexed_edges
+        return IndexCreationResult(
+            names=names, seconds=time.perf_counter() - started, indexed_edges=indexed
+        )
+
+    def create_edge_index(
+        self,
+        view: TwoHopView,
+        config: Optional[IndexConfig] = None,
+        name: Optional[str] = None,
+    ) -> IndexCreationResult:
+        """Create (and register) a secondary edge-partitioned index."""
+        config = config or IndexConfig.default()
+        started = time.perf_counter()
+        index = EdgePartitionedIndex(self.graph, view, config, self.store.primary, name=name)
+        self.store.register_edge_index(index)
+        return IndexCreationResult(
+            names=[index.name],
+            seconds=time.perf_counter() - started,
+            indexed_edges=index.num_indexed_edges,
+        )
+
+    def drop_index(self, name: str) -> None:
+        self.store.drop_index(name)
+
+    def execute_ddl(self, command: str):
+        """Parse and apply one index DDL command.
+
+        Returns the result object of the underlying operation
+        (:class:`ReconfigurationResult` or :class:`IndexCreationResult`).
+        """
+        parsed = parse_ddl(command)
+        if isinstance(parsed, ReconfigurePrimaryCommand):
+            return self.reconfigure_primary(parsed.config)
+        if isinstance(parsed, CreateOneHopCommand):
+            return self.create_vertex_index(
+                parsed.view, directions=parsed.directions, config=parsed.config
+            )
+        if isinstance(parsed, CreateTwoHopCommand):
+            return self.create_edge_index(parsed.view, config=parsed.config)
+        raise DDLParseError(f"unsupported DDL command: {command!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def plan(self, query: QueryGraph) -> QueryPlan:
+        """Optimize a query into a physical plan."""
+        return self.optimizer().optimize(query)
+
+    def run(
+        self, query: Union[QueryGraph, QueryPlan], materialize: bool = False
+    ) -> QueryResult:
+        """Plan (if needed) and execute a query."""
+        plan = query if isinstance(query, QueryPlan) else self.plan(query)
+        return self.executor().run(plan, materialize=materialize)
+
+    def count(self, query: Union[QueryGraph, QueryPlan]) -> int:
+        """Number of matches of a query."""
+        return self.run(query).count
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def memory_report(self) -> MemoryReport:
+        """Byte-accurate accounting of every index in the store."""
+        report = MemoryReport()
+        for breakdown in self.store.memory_breakdowns():
+            report.add(breakdown)
+        return report
+
+    def describe(self) -> str:
+        lines = [self.graph.describe(), self.store.describe()]
+        return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Plan execution.
+
+The :class:`Executor` drives a :class:`~repro.query.plan.QueryPlan`'s operator
+pipeline over a property graph, producing partial-match batches and exposing
+convenience entry points for counting or collecting the matches.  Matching
+semantics is *homomorphism*: distinct query variables may bind to the same
+graph element unless the query predicate forbids it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from ..graph.graph import PropertyGraph
+from .binding import DEFAULT_BATCH_SIZE, MatchBatch
+from .operators import (
+    ExecutionContext,
+    ExecutionStats,
+    ExtendIntersect,
+    Filter,
+    MultiExtend,
+    ScanVertices,
+)
+from .plan import QueryPlan
+
+
+@dataclass
+class QueryResult:
+    """Materialized result of a query execution."""
+
+    matches: List[Dict[str, int]]
+    count: int
+    seconds: float
+    stats: ExecutionStats
+
+    def __len__(self) -> int:
+        return self.count
+
+
+class Executor:
+    """Executes query plans over one property graph."""
+
+    def __init__(self, graph: PropertyGraph, batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+        self.graph = graph
+        self.batch_size = batch_size
+
+    # ------------------------------------------------------------------
+    # streaming execution
+    # ------------------------------------------------------------------
+    def execute(
+        self, plan: QueryPlan, stats: Optional[ExecutionStats] = None
+    ) -> Iterator[MatchBatch]:
+        """Yield batches of matches produced by the plan."""
+        context = ExecutionContext(
+            graph=self.graph,
+            query=plan.query,
+            batch_size=self.batch_size,
+            stats=stats or ExecutionStats(),
+        )
+        scan = plan.operators[0]
+        assert isinstance(scan, ScanVertices)
+        stream: Iterator[MatchBatch] = scan.execute(context)
+        for operator in plan.operators[1:]:
+            if isinstance(operator, (ExtendIntersect, MultiExtend, Filter)):
+                stream = operator.execute(stream, context)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unsupported operator {type(operator).__name__}")
+        for batch in stream:
+            context.stats.output_rows += len(batch)
+            yield batch
+
+    # ------------------------------------------------------------------
+    # convenience entry points
+    # ------------------------------------------------------------------
+    def count(self, plan: QueryPlan) -> int:
+        """Number of matches produced by the plan."""
+        total = 0
+        for batch in self.execute(plan):
+            total += len(batch)
+        return total
+
+    def collect(self, plan: QueryPlan, limit: Optional[int] = None) -> List[Dict[str, int]]:
+        """Materialize matches as dictionaries (optionally limited)."""
+        matches: List[Dict[str, int]] = []
+        for batch in self.execute(plan):
+            matches.extend(batch.to_dicts())
+            if limit is not None and len(matches) >= limit:
+                return matches[:limit]
+        return matches
+
+    def run(self, plan: QueryPlan, materialize: bool = False) -> QueryResult:
+        """Execute a plan, timing it and gathering execution statistics."""
+        stats = ExecutionStats()
+        started = time.perf_counter()
+        matches: List[Dict[str, int]] = []
+        count = 0
+        for batch in self.execute(plan, stats=stats):
+            count += len(batch)
+            if materialize:
+                matches.extend(batch.to_dicts())
+        elapsed = time.perf_counter() - started
+        return QueryResult(matches=matches, count=count, seconds=elapsed, stats=stats)

@@ -1,0 +1,142 @@
+"""Naive backtracking subgraph matcher, used as a correctness oracle.
+
+This matcher enumerates all homomorphic matches of a query pattern by simple
+recursive backtracking over the query edges, evaluating the full predicate on
+every complete binding.  It is deliberately straightforward — no indexes
+beyond per-vertex adjacency dictionaries, no ordering heuristics — so that the
+optimizer/executor stack can be validated against it on small graphs (unit and
+property-based tests).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import QueryParseError
+from ..graph.graph import PropertyGraph
+from .pattern import QueryEdge, QueryGraph
+
+
+class NaiveMatcher:
+    """Brute-force homomorphic subgraph matcher."""
+
+    def __init__(self, graph: PropertyGraph) -> None:
+        self.graph = graph
+        self._out_edges: Dict[int, List[int]] = defaultdict(list)
+        self._in_edges: Dict[int, List[int]] = defaultdict(list)
+        for edge_id in range(graph.num_edges):
+            self._out_edges[int(graph.edge_src[edge_id])].append(edge_id)
+            self._in_edges[int(graph.edge_dst[edge_id])].append(edge_id)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def match(self, query: QueryGraph) -> List[Dict[str, int]]:
+        """Return every homomorphic match (vertex and edge bindings)."""
+        if not query.is_connected():
+            raise QueryParseError("the naive matcher requires a connected pattern")
+        edge_order = self._order_edges(query)
+        results: List[Dict[str, int]] = []
+        binding: Dict[str, Tuple[str, int]] = {}
+
+        start_vertex = edge_order[0].src if edge_order else next(iter(query.vertex_names))
+        for vertex_id in self._vertex_candidates(query, start_vertex):
+            binding[start_vertex] = ("vertex", vertex_id)
+            self._recurse(query, edge_order, 0, binding, results)
+            del binding[start_vertex]
+        return results
+
+    def count(self, query: QueryGraph) -> int:
+        return len(self.match(query))
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _order_edges(self, query: QueryGraph) -> List[QueryEdge]:
+        """Order query edges so each one touches an already-covered vertex."""
+        remaining = list(query.edges.values())
+        if not remaining:
+            return []
+        ordered = [remaining.pop(0)]
+        covered: Set[str] = {ordered[0].src, ordered[0].dst}
+        while remaining:
+            for position, edge in enumerate(remaining):
+                if edge.src in covered or edge.dst in covered:
+                    ordered.append(remaining.pop(position))
+                    covered.update({edge.src, edge.dst})
+                    break
+            else:  # disconnected; is_connected() should have caught this
+                raise QueryParseError("pattern is not connected")
+        return ordered
+
+    def _vertex_candidates(self, query: QueryGraph, vertex_var: str) -> List[int]:
+        label = query.vertex(vertex_var).label
+        if label is None:
+            return [int(v) for v in self.graph.all_vertices()]
+        return [int(v) for v in self.graph.vertices_with_label(label)]
+
+    def _vertex_matches(self, query: QueryGraph, vertex_var: str, vertex_id: int) -> bool:
+        label = query.vertex(vertex_var).label
+        if label is None:
+            return True
+        return int(self.graph.vertex_labels[vertex_id]) == self.graph.schema.vertex_label_code(label)
+
+    def _edge_matches_label(self, query_edge: QueryEdge, edge_id: int) -> bool:
+        if query_edge.label is None:
+            return True
+        return int(self.graph.edge_labels[edge_id]) == self.graph.schema.edge_label_code(
+            query_edge.label
+        )
+
+    def _recurse(
+        self,
+        query: QueryGraph,
+        edge_order: List[QueryEdge],
+        position: int,
+        binding: Dict[str, Tuple[str, int]],
+        results: List[Dict[str, int]],
+    ) -> None:
+        if position == len(edge_order):
+            if query.predicate.evaluate(self.graph, binding):
+                results.append({name: value for name, (_, value) in binding.items()})
+            return
+        query_edge = edge_order[position]
+        src_bound = query_edge.src in binding
+        dst_bound = query_edge.dst in binding
+
+        if src_bound:
+            candidates = self._out_edges[binding[query_edge.src][1]]
+        elif dst_bound:
+            candidates = self._in_edges[binding[query_edge.dst][1]]
+        else:  # pragma: no cover - ordering guarantees an endpoint is bound
+            candidates = list(range(self.graph.num_edges))
+
+        for edge_id in candidates:
+            if not self._edge_matches_label(query_edge, edge_id):
+                continue
+            src_id = int(self.graph.edge_src[edge_id])
+            dst_id = int(self.graph.edge_dst[edge_id])
+            if src_bound and binding[query_edge.src][1] != src_id:
+                continue
+            if dst_bound and binding[query_edge.dst][1] != dst_id:
+                continue
+            if not src_bound and not self._vertex_matches(query, query_edge.src, src_id):
+                continue
+            if not dst_bound and not self._vertex_matches(query, query_edge.dst, dst_id):
+                continue
+
+            added: List[str] = []
+            if not src_bound:
+                binding[query_edge.src] = ("vertex", src_id)
+                added.append(query_edge.src)
+            if not dst_bound:
+                binding[query_edge.dst] = ("vertex", dst_id)
+                added.append(query_edge.dst)
+            binding[query_edge.name] = ("edge", edge_id)
+            added.append(query_edge.name)
+
+            self._recurse(query, edge_order, position + 1, binding, results)
+
+            for name in added:
+                del binding[name]

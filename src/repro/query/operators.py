@@ -1,0 +1,586 @@
+"""Physical operators of the GraphflowDB-style query processor.
+
+The executor evaluates linear pipelines of the following operators
+(Section IV-A of the paper):
+
+* :class:`ScanVertices` — produce the initial single-variable matches.
+* :class:`ExtendIntersect` (E/I) — extend partial matches by one query vertex
+  by intersecting ``z >= 1`` adjacency lists sorted on neighbour IDs; with
+  ``z = 1`` it degenerates to a simple extend.
+* :class:`MultiExtend` — intersect adjacency lists sorted on a property other
+  than neighbour ID and extend by one or more query vertices at once; also the
+  operator through which edge-partitioned A+ indexes are read (a leg may be
+  bound to an already-matched query *edge*).
+* :class:`Filter` — evaluate residual predicates on fully bound variables.
+
+Operators exchange :class:`~repro.query.binding.MatchBatch` objects.  Each
+operator records how many adjacency lists and list entries it touched in the
+:class:`ExecutionStats`, which is the empirical analogue of the optimizer's
+i-cost metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..graph.graph import PropertyGraph
+from ..index.index_store import AccessPath
+from ..storage.sort_keys import SortKey
+from .binding import DEFAULT_BATCH_SIZE, MatchBatch
+from .pattern import QueryGraph
+from .predicates import CompareOp, Predicate
+
+
+@dataclass
+class ExecutionStats:
+    """Counters accumulated while executing a plan."""
+
+    lists_accessed: int = 0
+    list_entries_fetched: int = 0
+    intermediate_rows: int = 0
+    output_rows: int = 0
+    predicate_evaluations: int = 0
+
+    def reset(self) -> None:
+        self.lists_accessed = 0
+        self.list_entries_fetched = 0
+        self.intermediate_rows = 0
+        self.output_rows = 0
+        self.predicate_evaluations = 0
+
+
+@dataclass
+class ExecutionContext:
+    """Shared state available to every operator during execution."""
+
+    graph: PropertyGraph
+    query: QueryGraph
+    batch_size: int = DEFAULT_BATCH_SIZE
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+
+    def variable_kind(self, name: str) -> str:
+        return self.query.variable_kind(name)
+
+
+# ----------------------------------------------------------------------
+# sorted-range filters
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SortedRangeFilter:
+    """A predicate applied via binary search on a sorted list.
+
+    When the adjacency list addressed by a leg is sorted on a property that a
+    constant comparison constrains (e.g. lists sorted on ``time`` and a
+    ``time < alpha`` predicate), the qualifying prefix/suffix can be located
+    with ``searchsorted`` instead of evaluating the predicate on every edge.
+
+    Attributes:
+        sort_key: the property the list is sorted by.
+        op: the comparison operator against the constant.
+        value: the (already encoded) constant.
+    """
+
+    sort_key: SortKey
+    op: CompareOp
+    value: float
+
+    def apply(
+        self, graph: PropertyGraph, edge_ids: np.ndarray, nbr_ids: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if len(edge_ids) == 0:
+            return edge_ids, nbr_ids
+        values = self.sort_key.values(graph, edge_ids, nbr_ids)
+        if self.op is CompareOp.LT:
+            end = int(np.searchsorted(values, self.value, side="left"))
+            return edge_ids[:end], nbr_ids[:end]
+        if self.op is CompareOp.LE:
+            end = int(np.searchsorted(values, self.value, side="right"))
+            return edge_ids[:end], nbr_ids[:end]
+        if self.op is CompareOp.GT:
+            start = int(np.searchsorted(values, self.value, side="right"))
+            return edge_ids[start:], nbr_ids[start:]
+        if self.op is CompareOp.GE:
+            start = int(np.searchsorted(values, self.value, side="left"))
+            return edge_ids[start:], nbr_ids[start:]
+        if self.op is CompareOp.EQ:
+            start = int(np.searchsorted(values, self.value, side="left"))
+            end = int(np.searchsorted(values, self.value, side="right"))
+            return edge_ids[start:end], nbr_ids[start:end]
+        raise ExecutionError(f"sorted-range filter does not support {self.op}")
+
+
+# ----------------------------------------------------------------------
+# extension legs
+# ----------------------------------------------------------------------
+@dataclass
+class ExtensionLeg:
+    """One adjacency-list access inside an E/I or MULTI-EXTEND operator.
+
+    Attributes:
+        access_path: how the list is read (which index, which partition-key
+            values, what the list is sorted by).
+        bound_var: the already-bound query variable whose adjacency is read; a
+            query vertex for vertex-partitioned paths, a query edge for
+            edge-partitioned paths.
+        target_var: the new query vertex this leg produces candidates for.
+        edge_var: the query edge matched by this leg.
+        track_edge: whether the matched edge ID must be bound in the output.
+        sorted_filter: optional binary-search filter on the list's sort key.
+        residual: remaining predicate (query-variable names) to evaluate on the
+            candidates; may reference the new vertex/edge and any bound vars.
+        presorted_by_nbr: True when the addressed list is already ordered by
+            neighbour ID; legs of a multiway E/I that are not presorted are
+            sorted by the operator (counted in its runtime), which models the
+            penalty of intersecting lists whose index is not tuned for it.
+    """
+
+    access_path: AccessPath
+    bound_var: str
+    target_var: str
+    edge_var: str
+    track_edge: bool = False
+    sorted_filter: Optional[SortedRangeFilter] = None
+    residual: Predicate = field(default_factory=Predicate.true)
+    presorted_by_nbr: bool = True
+
+    def fetch(
+        self,
+        context: ExecutionContext,
+        fixed: Dict[str, Tuple[str, int]],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Read and filter this leg's adjacency list for one partial match."""
+        bound_id = fixed[self.bound_var][1]
+        edge_ids, nbr_ids = self.access_path.index.list(
+            bound_id, list(self.access_path.key_values)
+        )
+        context.stats.lists_accessed += 1
+        context.stats.list_entries_fetched += len(edge_ids)
+        if self.sorted_filter is not None and len(edge_ids):
+            edge_ids, nbr_ids = self.sorted_filter.apply(
+                context.graph, edge_ids, nbr_ids
+            )
+        if not self.residual.is_true and len(edge_ids):
+            arrays = {
+                self.target_var: ("vertex", nbr_ids),
+                self.edge_var: ("edge", edge_ids),
+            }
+            context.stats.predicate_evaluations += len(edge_ids)
+            mask = self.residual.evaluate_bulk(context.graph, fixed, arrays)
+            edge_ids = edge_ids[mask]
+            nbr_ids = nbr_ids[mask]
+        return edge_ids, nbr_ids
+
+    def describe(self) -> str:
+        extras = []
+        if self.sorted_filter is not None:
+            extras.append(
+                f"sorted {self.sorted_filter.sort_key.describe()} "
+                f"{self.sorted_filter.op.value} {self.sorted_filter.value}"
+            )
+        if not self.residual.is_true:
+            extras.append(f"filter[{self.residual.describe()}]")
+        suffix = f" ({'; '.join(extras)})" if extras else ""
+        return (
+            f"{self.bound_var}-[{self.edge_var}]->{self.target_var} "
+            f"via {self.access_path.describe()}{suffix}"
+        )
+
+
+def _cross_product_indices(sizes: Sequence[int]) -> List[np.ndarray]:
+    """Index arrays enumerating the cross product of ``sizes`` choices."""
+    total = 1
+    for size in sizes:
+        total *= size
+    indices = []
+    suffix = total
+    for size in sizes:
+        suffix //= size
+        indices.append((np.arange(total) // suffix) % size)
+    return indices
+
+
+def _intersect_leg_results(
+    legs: Sequence[ExtensionLeg],
+    results: Sequence[Tuple[np.ndarray, np.ndarray]],
+) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+    """Intersect per-leg candidates on neighbour ID.
+
+    Returns the extended neighbour IDs (with multiplicity from parallel edges)
+    and, for legs that track their edge, the aligned edge-ID columns.
+    """
+    common = np.unique(results[0][1])
+    for _, nbr_ids in results[1:]:
+        if len(common) == 0:
+            break
+        common = np.intersect1d(common, nbr_ids)
+    empty = np.empty(0, dtype=np.int64)
+    if len(common) == 0:
+        return empty, {leg.edge_var: empty.copy() for leg in legs if leg.track_edge}
+
+    any_tracked = any(leg.track_edge for leg in legs)
+    if not any_tracked:
+        multiplicity = np.ones(len(common), dtype=np.int64)
+        for _, nbr_ids in results:
+            left = np.searchsorted(nbr_ids, common, side="left")
+            right = np.searchsorted(nbr_ids, common, side="right")
+            multiplicity *= right - left
+        return np.repeat(common, multiplicity), {}
+
+    out_nbrs: List[int] = []
+    out_edges: Dict[str, List[int]] = {
+        leg.edge_var: [] for leg in legs if leg.track_edge
+    }
+    for nbr in common:
+        per_leg_slices = []
+        for leg, (edge_ids, nbr_ids) in zip(legs, results):
+            left = int(np.searchsorted(nbr_ids, nbr, side="left"))
+            right = int(np.searchsorted(nbr_ids, nbr, side="right"))
+            per_leg_slices.append(edge_ids[left:right])
+        sizes = [len(s) for s in per_leg_slices]
+        combos = _cross_product_indices(sizes)
+        count = len(combos[0]) if combos else 0
+        out_nbrs.extend([int(nbr)] * count)
+        for leg, edge_slice, combo in zip(legs, per_leg_slices, combos):
+            if leg.track_edge:
+                out_edges[leg.edge_var].extend(int(e) for e in edge_slice[combo])
+    return (
+        np.asarray(out_nbrs, dtype=np.int64),
+        {name: np.asarray(values, dtype=np.int64) for name, values in out_edges.items()},
+    )
+
+
+# ----------------------------------------------------------------------
+# operators
+# ----------------------------------------------------------------------
+class PhysicalOperator:
+    """Base class for physical operators (documentation/typing aid)."""
+
+    def describe(self) -> str:  # pragma: no cover - overridden
+        return type(self).__name__
+
+
+@dataclass
+class ScanVertices(PhysicalOperator):
+    """Produce the initial matches of one query vertex.
+
+    Attributes:
+        var: the query vertex variable to bind.
+        label: optional vertex label restriction.
+        predicate: optional single-variable predicate (e.g. ``a1.ID < 50000``
+            or ``a1.city = 'BOS'``), evaluated vectorized over the candidates.
+    """
+
+    var: str
+    label: Optional[str] = None
+    predicate: Predicate = field(default_factory=Predicate.true)
+
+    def execute(self, context: ExecutionContext) -> Iterator[MatchBatch]:
+        graph = context.graph
+        if self.label is not None:
+            candidates = graph.vertices_with_label(self.label)
+        else:
+            candidates = graph.all_vertices()
+        candidates = np.asarray(candidates, dtype=np.int64)
+        if not self.predicate.is_true and len(candidates):
+            arrays = {self.var: ("vertex", candidates)}
+            context.stats.predicate_evaluations += len(candidates)
+            mask = self.predicate.evaluate_bulk(graph, {}, arrays)
+            candidates = candidates[mask]
+        context.stats.intermediate_rows += len(candidates)
+        batch = MatchBatch.single_column(self.var, candidates)
+        for chunk in batch.split(context.batch_size):
+            yield chunk
+
+    def describe(self) -> str:
+        label = f":{self.label}" if self.label else ""
+        where = f" WHERE {self.predicate.describe()}" if not self.predicate.is_true else ""
+        return f"SCAN ({self.var}{label}){where}"
+
+
+@dataclass
+class ExtendIntersect(PhysicalOperator):
+    """EXTEND/INTERSECT: extend partial matches by one query vertex.
+
+    With one leg the operator extends each partial match to every edge in the
+    addressed adjacency list; with ``z >= 2`` legs it intersects the lists
+    (which must be sorted on neighbour IDs) and extends to each vertex in the
+    intersection — the building block of WCOJ plans.
+
+    Attributes:
+        target_var: the new query vertex bound by this operator.
+        legs: the adjacency-list accesses to intersect.
+        post_predicate: residual predicate evaluated (vectorized) on the
+            extended batch, for conjuncts that reference the new vertex
+            together with variables other than the legs' bound variables.
+    """
+
+    target_var: str
+    legs: List[ExtensionLeg]
+    post_predicate: Predicate = field(default_factory=Predicate.true)
+
+    def execute(
+        self, batches: Iterable[MatchBatch], context: ExecutionContext
+    ) -> Iterator[MatchBatch]:
+        tracked_vars = [leg.edge_var for leg in self.legs if leg.track_edge]
+        for batch in batches:
+            if len(batch) == 0:
+                continue
+            columns = {name: batch.column(name) for name in batch.variables}
+            kinds = {name: context.variable_kind(name) for name in batch.variables}
+            counts = np.zeros(len(batch), dtype=np.int64)
+            nbr_chunks: List[np.ndarray] = []
+            edge_chunks: Dict[str, List[np.ndarray]] = {v: [] for v in tracked_vars}
+
+            for row in range(len(batch)):
+                fixed = {
+                    name: (kinds[name], int(columns[name][row])) for name in columns
+                }
+                results = []
+                for leg in self.legs:
+                    edge_ids, nbr_ids = leg.fetch(context, fixed)
+                    if len(self.legs) > 1 and not leg.presorted_by_nbr and len(nbr_ids) > 1:
+                        order = np.argsort(nbr_ids, kind="stable")
+                        edge_ids = edge_ids[order]
+                        nbr_ids = nbr_ids[order]
+                    results.append((edge_ids, nbr_ids))
+                if len(self.legs) == 1:
+                    edge_ids, nbr_ids = results[0]
+                    counts[row] = len(nbr_ids)
+                    nbr_chunks.append(nbr_ids)
+                    if self.legs[0].track_edge:
+                        edge_chunks[self.legs[0].edge_var].append(edge_ids)
+                else:
+                    nbr_ids, edges = _intersect_leg_results(self.legs, results)
+                    counts[row] = len(nbr_ids)
+                    nbr_chunks.append(nbr_ids)
+                    for name in tracked_vars:
+                        edge_chunks[name].append(
+                            edges.get(name, np.empty(0, dtype=np.int64))
+                        )
+
+            total = int(counts.sum())
+            if total == 0:
+                continue
+            new_columns = {
+                self.target_var: np.concatenate(nbr_chunks)
+                if nbr_chunks
+                else np.empty(0, dtype=np.int64)
+            }
+            for name in tracked_vars:
+                new_columns[name] = (
+                    np.concatenate(edge_chunks[name])
+                    if edge_chunks[name]
+                    else np.empty(0, dtype=np.int64)
+                )
+            extended = batch.repeat(counts).with_columns(new_columns)
+            context.stats.intermediate_rows += len(extended)
+
+            if not self.post_predicate.is_true and len(extended):
+                arrays = {
+                    name: (context.variable_kind(name), extended.column(name))
+                    for name in extended.variables
+                }
+                context.stats.predicate_evaluations += len(extended)
+                mask = self.post_predicate.evaluate_bulk(context.graph, {}, arrays)
+                extended = extended.select(mask)
+            if len(extended):
+                for chunk in extended.split(context.batch_size):
+                    yield chunk
+
+    def describe(self) -> str:
+        mode = "EXTEND" if len(self.legs) == 1 else f"E/I x{len(self.legs)}"
+        legs = "; ".join(leg.describe() for leg in self.legs)
+        post = (
+            f" THEN FILTER {self.post_predicate.describe()}"
+            if not self.post_predicate.is_true
+            else ""
+        )
+        return f"{mode} -> {self.target_var} [{legs}]{post}"
+
+
+@dataclass
+class MultiExtend(PhysicalOperator):
+    """MULTI-EXTEND: property-sorted intersection extending >= 1 query vertices.
+
+    All legs' adjacency lists are sorted on the same property (the
+    ``equality_key``); the operator joins them on equal property values,
+    producing one output row per combination of entries that agree on the
+    property (and, for legs sharing a target vertex, on the neighbour ID).
+    This is how plans exploit lists sorted on e.g. ``city`` for predicates
+    like ``a2.city = a4.city`` and how edge-partitioned lists participate in
+    multiway intersections (Figure 6 of the paper).
+
+    Attributes:
+        legs: adjacency accesses; each leg carries its own target vertex.
+        equality_key: the :class:`SortKey` the legs are sorted and joined on.
+        post_predicate: residual predicate over the extended batch.
+    """
+
+    legs: List[ExtensionLeg]
+    equality_key: SortKey
+    post_predicate: Predicate = field(default_factory=Predicate.true)
+
+    @property
+    def target_vars(self) -> List[str]:
+        seen = []
+        for leg in self.legs:
+            if leg.target_var not in seen:
+                seen.append(leg.target_var)
+        return seen
+
+    def execute(
+        self, batches: Iterable[MatchBatch], context: ExecutionContext
+    ) -> Iterator[MatchBatch]:
+        tracked_vars = [leg.edge_var for leg in self.legs if leg.track_edge]
+        target_vars = self.target_vars
+        for batch in batches:
+            if len(batch) == 0:
+                continue
+            columns = {name: batch.column(name) for name in batch.variables}
+            kinds = {name: context.variable_kind(name) for name in batch.variables}
+            counts = np.zeros(len(batch), dtype=np.int64)
+            target_chunks: Dict[str, List[np.ndarray]] = {v: [] for v in target_vars}
+            edge_chunks: Dict[str, List[np.ndarray]] = {v: [] for v in tracked_vars}
+
+            for row in range(len(batch)):
+                fixed = {
+                    name: (kinds[name], int(columns[name][row])) for name in columns
+                }
+                row_targets, row_edges, produced = self._extend_row(context, fixed)
+                counts[row] = produced
+                for name in target_vars:
+                    target_chunks[name].append(row_targets[name])
+                for name in tracked_vars:
+                    edge_chunks[name].append(row_edges[name])
+
+            total = int(counts.sum())
+            if total == 0:
+                continue
+            new_columns: Dict[str, np.ndarray] = {}
+            for name in target_vars:
+                new_columns[name] = np.concatenate(target_chunks[name])
+            for name in tracked_vars:
+                new_columns[name] = np.concatenate(edge_chunks[name])
+            extended = batch.repeat(counts).with_columns(new_columns)
+            context.stats.intermediate_rows += len(extended)
+
+            if not self.post_predicate.is_true and len(extended):
+                arrays = {
+                    name: (context.variable_kind(name), extended.column(name))
+                    for name in extended.variables
+                }
+                context.stats.predicate_evaluations += len(extended)
+                mask = self.post_predicate.evaluate_bulk(context.graph, {}, arrays)
+                extended = extended.select(mask)
+            if len(extended):
+                for chunk in extended.split(context.batch_size):
+                    yield chunk
+
+    def _extend_row(
+        self, context: ExecutionContext, fixed: Dict[str, Tuple[str, int]]
+    ) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray], int]:
+        """Join the legs on the equality key for one partial match."""
+        graph = context.graph
+        leg_entries = []
+        for leg in self.legs:
+            edge_ids, nbr_ids = leg.fetch(context, fixed)
+            keys = self.equality_key.values(graph, edge_ids, nbr_ids)
+            if len(keys) > 1 and not leg.access_path.sorted_by(self.equality_key):
+                order = np.argsort(keys, kind="stable")
+                edge_ids = edge_ids[order]
+                nbr_ids = nbr_ids[order]
+                keys = keys[order]
+            leg_entries.append((edge_ids, nbr_ids, keys))
+
+        empty = np.empty(0, dtype=np.int64)
+        targets: Dict[str, List[int]] = {v: [] for v in self.target_vars}
+        edges: Dict[str, List[int]] = {
+            leg.edge_var: [] for leg in self.legs if leg.track_edge
+        }
+
+        common = np.unique(leg_entries[0][2])
+        for _, _, keys in leg_entries[1:]:
+            if len(common) == 0:
+                break
+            common = np.intersect1d(common, keys)
+        if len(common) == 0:
+            return (
+                {v: empty.copy() for v in self.target_vars},
+                {v: empty.copy() for v in edges},
+                0,
+            )
+
+        produced = 0
+        for key in common:
+            slices = []
+            for edge_ids, nbr_ids, keys in leg_entries:
+                left = int(np.searchsorted(keys, key, side="left"))
+                right = int(np.searchsorted(keys, key, side="right"))
+                slices.append((edge_ids[left:right], nbr_ids[left:right]))
+            sizes = [len(s[0]) for s in slices]
+            combos = _cross_product_indices(sizes)
+            count = len(combos[0]) if combos else 0
+            if count == 0:
+                continue
+            combo_targets = {}
+            keep = np.ones(count, dtype=bool)
+            for leg, (edge_slice, nbr_slice), combo in zip(self.legs, slices, combos):
+                chosen_nbrs = nbr_slice[combo]
+                if leg.target_var in combo_targets:
+                    keep &= combo_targets[leg.target_var] == chosen_nbrs
+                else:
+                    combo_targets[leg.target_var] = chosen_nbrs
+            produced += int(keep.sum())
+            for name, values in combo_targets.items():
+                targets[name].extend(int(v) for v in values[keep])
+            for leg, (edge_slice, _), combo in zip(self.legs, slices, combos):
+                if leg.track_edge:
+                    edges[leg.edge_var].extend(int(e) for e in edge_slice[combo][keep])
+
+        return (
+            {name: np.asarray(values, dtype=np.int64) for name, values in targets.items()},
+            {name: np.asarray(values, dtype=np.int64) for name, values in edges.items()},
+            produced,
+        )
+
+    def describe(self) -> str:
+        legs = "; ".join(leg.describe() for leg in self.legs)
+        post = (
+            f" THEN FILTER {self.post_predicate.describe()}"
+            if not self.post_predicate.is_true
+            else ""
+        )
+        return (
+            f"MULTI-EXTEND on {self.equality_key.describe()} -> "
+            f"{','.join(self.target_vars)} [{legs}]{post}"
+        )
+
+
+@dataclass
+class Filter(PhysicalOperator):
+    """Evaluate a predicate over fully bound variables of each partial match."""
+
+    predicate: Predicate
+
+    def execute(
+        self, batches: Iterable[MatchBatch], context: ExecutionContext
+    ) -> Iterator[MatchBatch]:
+        for batch in batches:
+            if len(batch) == 0:
+                continue
+            arrays = {
+                name: (context.variable_kind(name), batch.column(name))
+                for name in batch.variables
+            }
+            context.stats.predicate_evaluations += len(batch)
+            mask = self.predicate.evaluate_bulk(context.graph, {}, arrays)
+            filtered = batch.select(mask)
+            if len(filtered):
+                yield filtered
+
+    def describe(self) -> str:
+        return f"FILTER {self.predicate.describe()}"

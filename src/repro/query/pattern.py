@@ -1,0 +1,252 @@
+"""Subgraph query patterns.
+
+A :class:`QueryGraph` is the logical representation of the subgraph-pattern
+component of a query: query vertices (with optional labels), query edges
+(with optional labels and direction), and a conjunctive predicate over the
+properties of those variables.  It corresponds to the MATCH/WHERE fragment of
+openCypher that the paper's workloads use.
+
+The same structure is used by the optimizer (to enumerate plans), the
+executor (variable bookkeeping), and the naive backtracking matcher used as a
+correctness oracle in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import QueryParseError
+from ..query.predicates import Comparison, Predicate, PropertyRef
+
+
+@dataclass(frozen=True)
+class QueryVertex:
+    """A query vertex variable.
+
+    Attributes:
+        name: variable name (e.g. ``"a1"``).
+        label: optional vertex label the matched vertex must carry.
+    """
+
+    name: str
+    label: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class QueryEdge:
+    """A directed query edge variable between two query vertices.
+
+    Attributes:
+        name: variable name (e.g. ``"e1"``); auto-generated if not supplied in
+            the builder API.
+        src: name of the source query vertex.
+        dst: name of the destination query vertex.
+        label: optional edge label the matched edge must carry.
+    """
+
+    name: str
+    src: str
+    dst: str
+    label: Optional[str] = None
+
+    def other_endpoint(self, vertex: str) -> str:
+        if vertex == self.src:
+            return self.dst
+        if vertex == self.dst:
+            return self.src
+        raise QueryParseError(f"{vertex!r} is not an endpoint of edge {self.name!r}")
+
+    def touches(self, vertex: str) -> bool:
+        return vertex == self.src or vertex == self.dst
+
+
+class QueryGraph:
+    """A subgraph pattern: query vertices, query edges, and a predicate.
+
+    Example:
+        >>> q = QueryGraph("two-hop")
+        >>> q.add_vertex("c1", label="Customer")
+        >>> q.add_vertex("a1", label="Account")
+        >>> q.add_vertex("a2", label="Account")
+        >>> q.add_edge("c1", "a1", label="Owns", name="r1")
+        >>> q.add_edge("a1", "a2", label="Wire", name="r2")
+        >>> q.add_predicate(cmp(prop("c1", "name"), "=", "Alice"))
+    """
+
+    def __init__(self, name: str = "query") -> None:
+        self.name = name
+        self._vertices: Dict[str, QueryVertex] = {}
+        self._edges: Dict[str, QueryEdge] = {}
+        self.predicate: Predicate = Predicate.true()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, name: str, label: Optional[str] = None) -> QueryVertex:
+        if name in self._vertices:
+            raise QueryParseError(f"duplicate query vertex {name!r}")
+        if name in self._edges:
+            raise QueryParseError(f"{name!r} already names a query edge")
+        vertex = QueryVertex(name=name, label=label)
+        self._vertices[name] = vertex
+        return vertex
+
+    def add_edge(
+        self,
+        src: str,
+        dst: str,
+        label: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> QueryEdge:
+        if src not in self._vertices or dst not in self._vertices:
+            raise QueryParseError(
+                f"edge endpoints ({src!r}, {dst!r}) must be declared query vertices"
+            )
+        if name is None:
+            name = f"_e{len(self._edges)}"
+        if name in self._edges or name in self._vertices:
+            raise QueryParseError(f"duplicate query variable {name!r}")
+        edge = QueryEdge(name=name, src=src, dst=dst, label=label)
+        self._edges[name] = edge
+        return edge
+
+    def add_predicate(self, *comparisons: Comparison) -> None:
+        """Conjoin additional comparisons to the query predicate."""
+        self.predicate = self.predicate.and_also(Predicate(comparisons))
+
+    def where(self, predicate: Predicate) -> "QueryGraph":
+        """Conjoin a whole predicate (fluent style); returns self."""
+        self.predicate = self.predicate.and_also(predicate)
+        return self
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> Dict[str, QueryVertex]:
+        return dict(self._vertices)
+
+    @property
+    def edges(self) -> Dict[str, QueryEdge]:
+        return dict(self._edges)
+
+    @property
+    def vertex_names(self) -> List[str]:
+        return list(self._vertices)
+
+    @property
+    def edge_names(self) -> List[str]:
+        return list(self._edges)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def vertex(self, name: str) -> QueryVertex:
+        try:
+            return self._vertices[name]
+        except KeyError as exc:
+            raise QueryParseError(f"unknown query vertex {name!r}") from exc
+
+    def edge(self, name: str) -> QueryEdge:
+        try:
+            return self._edges[name]
+        except KeyError as exc:
+            raise QueryParseError(f"unknown query edge {name!r}") from exc
+
+    def variable_kind(self, name: str) -> str:
+        """Return ``"vertex"`` or ``"edge"`` for a query variable."""
+        if name in self._vertices:
+            return "vertex"
+        if name in self._edges:
+            return "edge"
+        raise QueryParseError(f"unknown query variable {name!r}")
+
+    def edges_between(self, matched: Set[str], new_vertex: str) -> List[QueryEdge]:
+        """Query edges connecting ``new_vertex`` to any vertex in ``matched``."""
+        connecting = []
+        for edge in self._edges.values():
+            if edge.touches(new_vertex):
+                other = edge.other_endpoint(new_vertex)
+                if other in matched:
+                    connecting.append(edge)
+        return connecting
+
+    def edges_of_vertex(self, vertex: str) -> List[QueryEdge]:
+        return [e for e in self._edges.values() if e.touches(vertex)]
+
+    def neighbours_of(self, vertex: str) -> Set[str]:
+        names = set()
+        for edge in self._edges.values():
+            if edge.touches(vertex):
+                names.add(edge.other_endpoint(vertex))
+        return names
+
+    def is_connected(self) -> bool:
+        """True if the pattern is connected (required for plan enumeration)."""
+        if not self._vertices:
+            return True
+        seen: Set[str] = set()
+        frontier = [next(iter(self._vertices))]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self.neighbours_of(current) - seen)
+        return seen == set(self._vertices)
+
+    # ------------------------------------------------------------------
+    # predicate helpers used by the optimizer
+    # ------------------------------------------------------------------
+    def label_predicate(self) -> Predicate:
+        """Label constraints of vertices and edges expressed as comparisons."""
+        from ..query.predicates import cmp, prop
+
+        comparisons = []
+        for vertex in self._vertices.values():
+            if vertex.label is not None:
+                comparisons.append(cmp(prop(vertex.name, "label"), "=", vertex.label))
+        for edge in self._edges.values():
+            if edge.label is not None:
+                comparisons.append(cmp(prop(edge.name, "label"), "=", edge.label))
+        return Predicate(comparisons)
+
+    def full_predicate(self) -> Predicate:
+        """The WHERE predicate conjoined with all label constraints."""
+        return self.label_predicate().and_also(self.predicate)
+
+    def tracked_edges(self) -> Set[str]:
+        """Query edges whose matched edge ID must be carried in partial matches.
+
+        An edge binding is needed whenever a predicate references the edge
+        together with *another* variable (e.g. ``e1.date < e2.date``), because
+        that predicate can only be evaluated after both are matched.
+        """
+        tracked: Set[str] = set()
+        for comparison in self.predicate.conjuncts():
+            variables = comparison.variables()
+            edge_vars = {v for v in variables if v in self._edges}
+            if edge_vars and len(variables) > 1:
+                tracked |= edge_vars
+        return tracked
+
+    def describe(self) -> str:
+        lines = [f"QueryGraph {self.name!r}:"]
+        for vertex in self._vertices.values():
+            label = f":{vertex.label}" if vertex.label else ""
+            lines.append(f"  ({vertex.name}{label})")
+        for edge in self._edges.values():
+            label = f":{edge.label}" if edge.label else ""
+            lines.append(f"  ({edge.src})-[{edge.name}{label}]->({edge.dst})")
+        if not self.predicate.is_true:
+            lines.append(f"  WHERE {self.predicate.describe()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()

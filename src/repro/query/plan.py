@@ -1,0 +1,93 @@
+"""Physical query plans.
+
+A :class:`QueryPlan` is a linear pipeline of physical operators: one
+:class:`~repro.query.operators.ScanVertices` followed by a sequence of
+extend/intersect, multi-extend and filter operators that bind the remaining
+query variables.  Plans are produced by the DP optimizer
+(:mod:`repro.query.optimizer`) or constructed by hand in tests, and run by the
+:class:`~repro.query.executor.Executor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from ..errors import PlanningError
+from .operators import ExtendIntersect, Filter, MultiExtend, PhysicalOperator, ScanVertices
+from .pattern import QueryGraph
+
+
+@dataclass
+class QueryPlan:
+    """An executable plan together with its cost estimate.
+
+    Attributes:
+        query: the query graph the plan answers.
+        operators: the operator pipeline; the first operator must be a scan.
+        estimated_cost: the optimizer's i-cost estimate (0 for manual plans).
+        estimated_cardinality: estimated number of output matches.
+    """
+
+    query: QueryGraph
+    operators: List[PhysicalOperator]
+    estimated_cost: float = 0.0
+    estimated_cardinality: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.operators:
+            raise PlanningError("a plan needs at least one operator")
+        if not isinstance(self.operators[0], ScanVertices):
+            raise PlanningError("the first operator of a plan must be a scan")
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def bound_variables(self) -> Set[str]:
+        """Query variables bound after running the whole pipeline."""
+        bound: Set[str] = set()
+        for operator in self.operators:
+            if isinstance(operator, ScanVertices):
+                bound.add(operator.var)
+            elif isinstance(operator, ExtendIntersect):
+                bound.add(operator.target_var)
+                bound.update(leg.edge_var for leg in operator.legs if leg.track_edge)
+            elif isinstance(operator, MultiExtend):
+                bound.update(operator.target_vars)
+                bound.update(leg.edge_var for leg in operator.legs if leg.track_edge)
+        return bound
+
+    def binds_all_query_vertices(self) -> bool:
+        return set(self.query.vertex_names) <= self.bound_variables()
+
+    def uses_index(self, index_name: str) -> bool:
+        """True if any leg of the plan reads the named index."""
+        for operator in self.operators:
+            legs = getattr(operator, "legs", None)
+            if not legs:
+                continue
+            for leg in legs:
+                if leg.access_path.name == index_name:
+                    return True
+        return False
+
+    def operator_names(self) -> List[str]:
+        return [type(op).__name__ for op in self.operators]
+
+    def num_multiway_intersections(self) -> int:
+        """Number of operators performing a >= 2-way intersection."""
+        count = 0
+        for operator in self.operators:
+            legs = getattr(operator, "legs", None)
+            if legs and len(legs) >= 2:
+                count += 1
+        return count
+
+    def describe(self) -> str:
+        lines = [f"Plan for {self.query.name!r} (i-cost≈{self.estimated_cost:,.0f}):"]
+        for position, operator in enumerate(self.operators, 1):
+            lines.append(f"  {position}. {operator.describe()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()

@@ -1,0 +1,40 @@
+"""Compatibility shim: the predicate AST lives in :mod:`repro.predicates`.
+
+The module was promoted to the package root because it is shared by the index
+subsystem and the query processor; importing it from either package must not
+trigger the other package's ``__init__`` (which would create an import cycle).
+Everything is re-exported here so ``repro.query.predicates`` remains a valid
+import path.
+"""
+
+from ..predicates import (  # noqa: F401
+    CompareOp,
+    Comparison,
+    Constant,
+    Operand,
+    Predicate,
+    PropertyRef,
+    cmp,
+    comparison_subsumes,
+    const,
+    encode_constant,
+    predicate_subsumes,
+    prop,
+    residual_conjuncts,
+)
+
+__all__ = [
+    "CompareOp",
+    "Comparison",
+    "Constant",
+    "Operand",
+    "Predicate",
+    "PropertyRef",
+    "cmp",
+    "comparison_subsumes",
+    "const",
+    "encode_constant",
+    "predicate_subsumes",
+    "prop",
+    "residual_conjuncts",
+]

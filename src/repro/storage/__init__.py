@@ -1,0 +1,35 @@
+"""Physical storage layer: nested CSR, ID lists, offset lists, accounting."""
+
+from .csr import NestedCSR
+from .id_lists import IdLists
+from .memory import MemoryBreakdown, MemoryReport, format_bytes
+from .offset_lists import OffsetLists, bytes_needed
+from .partition_keys import PartitionKey
+from .search import (
+    equal_range,
+    group_by_sorted_key,
+    intersect_sorted,
+    prefix_below,
+    range_between,
+    suffix_above,
+)
+from .sort_keys import SortKey, sort_values_matrix
+
+__all__ = [
+    "IdLists",
+    "MemoryBreakdown",
+    "MemoryReport",
+    "NestedCSR",
+    "OffsetLists",
+    "PartitionKey",
+    "SortKey",
+    "bytes_needed",
+    "equal_range",
+    "format_bytes",
+    "group_by_sorted_key",
+    "intersect_sorted",
+    "prefix_below",
+    "range_between",
+    "sort_values_matrix",
+    "suffix_above",
+]

@@ -1,0 +1,174 @@
+"""Partitioning keys for nested CSR levels.
+
+A+ indexes "can contain nested secondary partitioning criteria on any
+categorical property of adjacent edges as well as neighbour vertices, such as
+edge or neighbour vertex labels, or the currency property on the edges"
+(Section III-A1).  A :class:`PartitionKey` names one such criterion and knows
+how to extract the integer partition code of each indexed edge.
+
+Edges whose key value is null are placed in a dedicated trailing partition
+("Edges with null property values form a special partition").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import IndexConfigError
+from ..graph.graph import PropertyGraph
+from ..graph.types import NULL_CATEGORY, PropertyType
+
+
+@dataclass(frozen=True)
+class PartitionKey:
+    """One nested partitioning criterion of an A+ index.
+
+    Attributes:
+        target: ``"edge"`` (a property of the adjacent edge ``eadj``) or
+            ``"nbr"`` (a property of the neighbour vertex ``vnbr``).
+        prop: property name, or ``"label"`` for the label of the target.
+    """
+
+    target: str  # "edge" | "nbr"
+    prop: str
+
+    def __post_init__(self) -> None:
+        if self.target not in ("edge", "nbr"):
+            raise IndexConfigError(
+                f"partition key target must be 'edge' or 'nbr', got {self.target!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def edge_label(cls) -> "PartitionKey":
+        """Partition by the label of the adjacent edge (``eadj.label``)."""
+        return cls("edge", "label")
+
+    @classmethod
+    def nbr_label(cls) -> "PartitionKey":
+        """Partition by the label of the neighbour vertex (``vnbr.label``)."""
+        return cls("nbr", "label")
+
+    @classmethod
+    def edge_property(cls, name: str) -> "PartitionKey":
+        """Partition by a categorical property of the adjacent edge."""
+        return cls("edge", name)
+
+    @classmethod
+    def nbr_property(cls, name: str) -> "PartitionKey":
+        """Partition by a categorical property of the neighbour vertex."""
+        return cls("nbr", name)
+
+    @classmethod
+    def parse(cls, text: str) -> "PartitionKey":
+        """Parse the DDL form ``eadj.label`` / ``vnbr.city`` etc."""
+        text = text.strip()
+        if "." not in text:
+            raise IndexConfigError(f"cannot parse partition key {text!r}")
+        prefix, prop = text.split(".", 1)
+        prefix = prefix.strip().lower()
+        prop = prop.strip()
+        if prefix in ("eadj", "e", "edge"):
+            return cls("edge", prop)
+        if prefix in ("vnbr", "v", "nbr", "vertex"):
+            return cls("nbr", prop)
+        raise IndexConfigError(
+            f"partition key prefix must be 'eadj' or 'vnbr', got {prefix!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # domain and code extraction
+    # ------------------------------------------------------------------
+    def domain_size(self, graph: PropertyGraph) -> int:
+        """Number of non-null partition codes this key can take."""
+        if self.prop == "label":
+            if self.target == "edge":
+                return max(graph.schema.num_edge_labels, 1)
+            return max(graph.schema.num_vertex_labels, 1)
+        if self.target == "edge":
+            prop = graph.schema.edge_property(self.prop)
+        else:
+            prop = graph.schema.vertex_property(self.prop)
+        if prop.ptype is not PropertyType.CATEGORICAL:
+            raise IndexConfigError(
+                f"partitioning requires a categorical property; "
+                f"{self.target}.{self.prop} has type {prop.ptype.value}"
+            )
+        return max(prop.num_categories, 1)
+
+    def codes(
+        self,
+        graph: PropertyGraph,
+        edge_ids: np.ndarray,
+        nbr_ids: np.ndarray,
+    ) -> np.ndarray:
+        """Extract the raw (possibly null) partition codes of the given edges.
+
+        Args:
+            graph: the property graph.
+            edge_ids: IDs of the adjacent edges being indexed.
+            nbr_ids: IDs of the corresponding neighbour vertices.
+
+        Returns:
+            int array of codes; nulls appear as ``NULL_CATEGORY``.
+        """
+        if self.prop == "label":
+            if self.target == "edge":
+                return graph.edge_labels[edge_ids].astype(np.int64)
+            return graph.vertex_labels[nbr_ids].astype(np.int64)
+        if self.target == "edge":
+            column = graph.edge_props.column(self.prop)
+            return np.asarray(column[edge_ids], dtype=np.int64)
+        column = graph.vertex_props.column(self.prop)
+        return np.asarray(column[nbr_ids], dtype=np.int64)
+
+    def effective_codes(
+        self,
+        graph: PropertyGraph,
+        edge_ids: np.ndarray,
+        nbr_ids: np.ndarray,
+    ) -> np.ndarray:
+        """Like :meth:`codes` but with nulls mapped to the trailing partition."""
+        codes = self.codes(graph, edge_ids, nbr_ids)
+        domain = self.domain_size(graph)
+        codes = codes.copy()
+        codes[codes == NULL_CATEGORY] = domain
+        return codes
+
+    def effective_domain_size(self, graph: PropertyGraph) -> int:
+        """Domain size including the trailing null partition."""
+        return self.domain_size(graph) + 1
+
+    def code_for_value(self, graph: PropertyGraph, value) -> int:
+        """Map a query-level value (label or category name / code) to a code.
+
+        ``None`` maps to the null partition.
+        """
+        domain = self.domain_size(graph)
+        if value is None:
+            return domain
+        if self.prop == "label":
+            if isinstance(value, str):
+                if self.target == "edge":
+                    return graph.schema.edge_label_code(value)
+                return graph.schema.vertex_label_code(value)
+            return int(value)
+        if self.target == "edge":
+            prop = graph.schema.edge_property(self.prop)
+        else:
+            prop = graph.schema.vertex_property(self.prop)
+        if isinstance(value, str):
+            return prop.code_of(value)
+        return int(value)
+
+    def describe(self) -> str:
+        prefix = "eadj" if self.target == "edge" else "vnbr"
+        return f"{prefix}.{self.prop}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()

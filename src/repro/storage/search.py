@@ -1,0 +1,91 @@
+"""Binary-search helpers over sorted adjacency lists.
+
+When an ID list (or offset list) is sorted on a property, the system can
+locate the sub-list satisfying an equality or range predicate in time
+logarithmic in the list size instead of scanning and evaluating the predicate
+per edge (Section II "Sorting", Section V-B's Ds configuration).  These
+helpers operate on the materialized sort-key values of one list slice.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def equal_range(values: np.ndarray, key) -> Tuple[int, int]:
+    """Return the ``[lo, hi)`` range of entries equal to ``key``.
+
+    ``values`` must be sorted ascending.
+    """
+    lo = int(np.searchsorted(values, key, side="left"))
+    hi = int(np.searchsorted(values, key, side="right"))
+    return lo, hi
+
+
+def prefix_below(values: np.ndarray, bound, inclusive: bool = False) -> int:
+    """Return the length of the prefix with values < bound (or <= if inclusive)."""
+    side = "right" if inclusive else "left"
+    return int(np.searchsorted(values, bound, side=side))
+
+
+def suffix_above(values: np.ndarray, bound, inclusive: bool = False) -> int:
+    """Return the start position of the suffix with values > bound (>= if inclusive)."""
+    side = "left" if inclusive else "right"
+    return int(np.searchsorted(values, bound, side=side))
+
+
+def range_between(
+    values: np.ndarray,
+    low=None,
+    high=None,
+    low_inclusive: bool = True,
+    high_inclusive: bool = False,
+) -> Tuple[int, int]:
+    """Return the ``[lo, hi)`` range of entries within the given bounds.
+
+    ``None`` bounds are treated as unbounded.  ``values`` must be sorted
+    ascending.
+    """
+    lo = 0
+    hi = len(values)
+    if low is not None:
+        lo = suffix_above(values, low, inclusive=low_inclusive)
+    if high is not None:
+        hi = prefix_below(values, high, inclusive=high_inclusive)
+    if hi < lo:
+        hi = lo
+    return lo, hi
+
+
+def intersect_sorted(lists) -> np.ndarray:
+    """Intersect two or more ascending-sorted integer arrays.
+
+    This is the z-way intersection primitive of the EXTEND/INTERSECT operator.
+    Duplicates within one list are preserved only once in the output.
+    """
+    lists = [np.asarray(lst) for lst in lists]
+    if not lists:
+        return np.empty(0, dtype=np.int64)
+    result = np.unique(lists[0])
+    for other in lists[1:]:
+        if len(result) == 0:
+            break
+        result = np.intersect1d(result, other, assume_unique=False)
+    return result
+
+
+def group_by_sorted_key(keys: np.ndarray):
+    """Yield ``(key, start, end)`` runs of equal keys in an ascending array.
+
+    Used by MULTI-EXTEND to join lists sorted on the same property: runs with
+    equal keys on both sides form the join partners.
+    """
+    position = 0
+    length = len(keys)
+    while position < length:
+        key = keys[position]
+        end = int(np.searchsorted(keys, key, side="right"))
+        yield key, position, end
+        position = end

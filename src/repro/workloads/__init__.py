@@ -1,0 +1,31 @@
+"""The paper's three evaluation workloads plus scaled datasets and a runner."""
+
+from . import fraud, labelled_subgraph, magicrecs
+from .datasets import (
+    DATASETS,
+    DatasetSpec,
+    clear_cache,
+    dataset_names,
+    financial_dataset,
+    labelled_dataset,
+    social_dataset,
+    table1_rows,
+)
+from .runner import QueryMeasurement, WorkloadMeasurement, WorkloadRunner
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "QueryMeasurement",
+    "WorkloadMeasurement",
+    "WorkloadRunner",
+    "clear_cache",
+    "dataset_names",
+    "financial_dataset",
+    "fraud",
+    "labelled_dataset",
+    "labelled_subgraph",
+    "magicrecs",
+    "social_dataset",
+    "table1_rows",
+]

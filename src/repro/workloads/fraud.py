@@ -1,0 +1,222 @@
+"""Financial-fraud money-flow queries (MF1-MF5) for the Table IV workload.
+
+Section V-C2/V-D evaluates five fraud-detection queries (Figure 5 of the
+paper) over transfer graphs whose vertices carry an account type
+(``acc`` in {CQ, SV}) and a ``city``, and whose edges carry ``amt``, ``date``
+and ``currency``:
+
+* **MF1** — a 4-cycle of transfers between CQ accounts where the two
+  "middle" accounts are in the same city.
+* **MF2** — a 4-account transfer path whose consecutive accounts share a city.
+* **MF3** — a three-branch pattern with a money-flow condition ``Pf`` between
+  two consecutive transfers and city equalities across branches (the query of
+  Figure 6's plan).
+* **MF4** — two 2-step money flows out of one account whose first hops are in
+  the same city.
+* **MF5** — a 4-step money-flow path with ``Pf`` on every consecutive pair.
+
+``Pf(ei, ej)`` is the paper's money-flow predicate: the second transfer
+happens later, for a smaller amount, and for a cut of at most ``alpha``:
+``ei.date < ej.date AND ei.amt > ej.amt AND ei.amt < ej.amt + alpha``
+(Figure 5 states it for the reverse edge order; the inequality structure is
+identical).
+
+The module also provides the index DDL-equivalents used by the Table IV
+configurations: the city-sorted vertex-partitioned view (``VPc``) and the
+money-flow edge-partitioned view (``EPc``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..graph.graph import PropertyGraph
+from ..graph.types import EdgeAdjacencyType
+from ..index.config import IndexConfig
+from ..index.views import OneHopView, TwoHopView
+from ..predicates import Comparison, Predicate, cmp, prop
+from ..query.pattern import QueryGraph
+from ..storage.partition_keys import PartitionKey
+from ..storage.sort_keys import SortKey
+
+#: Query names in the order reported in Table IV.
+MF_QUERY_NAMES = ("MF1", "MF2", "MF3", "MF4", "MF5")
+
+
+def amount_alpha(graph: PropertyGraph, selectivity: float = 0.05) -> int:
+    """The money-flow "cut" ``alpha`` giving roughly the requested selectivity.
+
+    Amounts are (approximately) uniform on ``[1, max_amt]``, so the
+    probability that a random pair of transfers satisfies
+    ``0 < ei.amt - ej.amt < alpha`` is about ``alpha / max_amt``.
+    """
+    amounts = np.asarray(graph.edge_props.column("amt"))
+    if len(amounts) == 0:
+        return 1
+    max_amount = float(amounts.max())
+    return max(int(round(selectivity * max_amount)), 1)
+
+
+def money_flow_conjuncts(earlier: str, later: str, alpha: int) -> List[Comparison]:
+    """``Pf(earlier, later)``: later transfer is later, smaller, cut <= alpha."""
+    return [
+        cmp(prop(earlier, "date"), "<", prop(later, "date")),
+        cmp(prop(earlier, "amt"), ">", prop(later, "amt")),
+        cmp(prop(earlier, "amt"), "<", prop(later, "amt"), offset=float(alpha)),
+    ]
+
+
+# ----------------------------------------------------------------------
+# queries
+# ----------------------------------------------------------------------
+def build_mf1() -> QueryGraph:
+    """4-cycle of transfers between CQ accounts, a2 and a4 in the same city."""
+    query = QueryGraph("MF1")
+    for name in ("a1", "a2", "a3", "a4"):
+        query.add_vertex(name, label="Account")
+        query.add_predicate(cmp(prop(name, "acc"), "=", "CQ"))
+    query.add_edge("a1", "a2", name="e1")
+    query.add_edge("a2", "a3", name="e2")
+    query.add_edge("a3", "a4", name="e3")
+    query.add_edge("a4", "a1", name="e4")
+    query.add_predicate(cmp(prop("a2", "city"), "=", prop("a4", "city")))
+    return query
+
+
+def build_mf2() -> QueryGraph:
+    """Transfer path a1 -> a2 -> a3 -> a4 with consecutive city equality."""
+    query = QueryGraph("MF2")
+    for name in ("a1", "a2", "a3", "a4"):
+        query.add_vertex(name, label="Account")
+    query.add_edge("a1", "a2", name="e1")
+    query.add_edge("a2", "a3", name="e2")
+    query.add_edge("a3", "a4", name="e3")
+    query.add_predicate(cmp(prop("a1", "city"), "=", prop("a2", "city")))
+    query.add_predicate(cmp(prop("a2", "city"), "=", prop("a3", "city")))
+    query.add_predicate(cmp(prop("a3", "city"), "=", prop("a4", "city")))
+    return query
+
+
+def build_mf3(graph: PropertyGraph, alpha: int) -> QueryGraph:
+    """Three branches out of a1 with a money-flow hop and city equalities.
+
+    Shape (Figure 5c): ``a1 -e1-> a2``, ``a1 -e2-> a3 -e3-> a4``,
+    ``a1 -e4-> a5`` with ``Pf(e2, e3)``, ``a2.city = a4.city = a5.city``,
+    ``a3.ID < c`` (a selective ID range), CQ accounts except ``a5`` (SV).
+    """
+    query = QueryGraph("MF3")
+    for name in ("a1", "a2", "a3", "a4", "a5"):
+        query.add_vertex(name, label="Account")
+    query.add_edge("a1", "a2", name="e1")
+    query.add_edge("a1", "a3", name="e2")
+    query.add_edge("a3", "a4", name="e3")
+    query.add_edge("a1", "a5", name="e4")
+    for name in ("a1", "a2", "a3", "a4"):
+        query.add_predicate(cmp(prop(name, "acc"), "=", "CQ"))
+    query.add_predicate(cmp(prop("a5", "acc"), "=", "SV"))
+    id_bound = max(graph.num_vertices // 5, 1)
+    query.add_predicate(cmp(prop("a3", "ID"), "<", id_bound))
+    query.add_predicate(cmp(prop("a2", "city"), "=", prop("a4", "city")))
+    query.add_predicate(cmp(prop("a4", "city"), "=", prop("a5", "city")))
+    for comparison in money_flow_conjuncts("e2", "e3", alpha):
+        query.add_predicate(comparison)
+    return query
+
+
+def build_mf4(graph: PropertyGraph, alpha: int, beta_city: str = "city0") -> QueryGraph:
+    """Two 2-step money flows out of a1, first hops in the same city.
+
+    Shape (Figure 5d): ``a1 -e1-> a2 -e2-> a3`` and ``a1 -e3-> a4 -e4-> a5``
+    with ``Pf(e1, e2)``, ``Pf(e3, e4)``, ``a2.city = a4.city``,
+    ``a1.city = beta``, CQ first hops and SV second hops.
+    """
+    query = QueryGraph("MF4")
+    for name in ("a1", "a2", "a3", "a4", "a5"):
+        query.add_vertex(name, label="Account")
+    query.add_edge("a1", "a2", name="e1")
+    query.add_edge("a2", "a3", name="e2")
+    query.add_edge("a1", "a4", name="e3")
+    query.add_edge("a4", "a5", name="e4")
+    query.add_predicate(cmp(prop("a1", "city"), "=", beta_city))
+    query.add_predicate(cmp(prop("a2", "city"), "=", prop("a4", "city")))
+    query.add_predicate(cmp(prop("a2", "acc"), "=", "CQ"))
+    query.add_predicate(cmp(prop("a3", "acc"), "=", "CQ"))
+    query.add_predicate(cmp(prop("a4", "acc"), "=", "SV"))
+    query.add_predicate(cmp(prop("a5", "acc"), "=", "SV"))
+    for comparison in money_flow_conjuncts("e1", "e2", alpha):
+        query.add_predicate(comparison)
+    for comparison in money_flow_conjuncts("e3", "e4", alpha):
+        query.add_predicate(comparison)
+    return query
+
+
+def build_mf5(graph: PropertyGraph, alpha: int) -> QueryGraph:
+    """4-step money-flow path with ``Pf`` between every consecutive pair."""
+    query = QueryGraph("MF5")
+    for name in ("a1", "a2", "a3", "a4", "a5"):
+        query.add_vertex(name, label="Account")
+        query.add_predicate(cmp(prop(name, "acc"), "=", "CQ"))
+    query.add_edge("a1", "a2", name="e1")
+    query.add_edge("a2", "a3", name="e2")
+    query.add_edge("a3", "a4", name="e3")
+    query.add_edge("a4", "a5", name="e4")
+    id_bound = max(graph.num_vertices // 2, 1)
+    query.add_predicate(cmp(prop("a1", "ID"), "<", id_bound))
+    for earlier, later in (("e1", "e2"), ("e2", "e3"), ("e3", "e4")):
+        for comparison in money_flow_conjuncts(earlier, later, alpha):
+            query.add_predicate(comparison)
+    return query
+
+
+def build_workload(graph: PropertyGraph, selectivity: float = 0.05) -> Dict[str, QueryGraph]:
+    """Build MF1-MF5 with ``alpha`` tuned to the requested selectivity."""
+    alpha = amount_alpha(graph, selectivity)
+    return {
+        "MF1": build_mf1(),
+        "MF2": build_mf2(),
+        "MF3": build_mf3(graph, alpha),
+        "MF4": build_mf4(graph, alpha),
+        "MF5": build_mf5(graph, alpha),
+    }
+
+
+# ----------------------------------------------------------------------
+# index configurations of Table IV
+# ----------------------------------------------------------------------
+def vpc_view_and_config() -> Tuple[OneHopView, IndexConfig]:
+    """The ``VPc`` secondary vertex-partitioned index of Section V-C2.
+
+    A global 1-hop view (all edges) with the same partitioning structure as
+    the primary index, sorted on the neighbour's ``city`` property; built in
+    both directions so forward and backward lists can be intersected on city.
+    """
+    view = OneHopView(name="VPc")
+    config = IndexConfig(
+        partition_keys=(PartitionKey.edge_label(),),
+        sort_keys=(SortKey.nbr_property("city"), SortKey.neighbour_id()),
+    )
+    return view, config
+
+
+def epc_view_and_config(alpha: int) -> Tuple[TwoHopView, IndexConfig]:
+    """The ``EPc`` secondary edge-partitioned index of Section V-D.
+
+    A Destination-FW 2-hop view with the money-flow predicate (including the
+    ``alpha`` cut), partitioned on the neighbour's account type and sorted on
+    the neighbour's ``city``.
+    """
+    predicate = Predicate(
+        [
+            cmp(prop("eb", "date"), "<", prop("eadj", "date")),
+            cmp(prop("eb", "amt"), ">", prop("eadj", "amt")),
+            cmp(prop("eb", "amt"), "<", prop("eadj", "amt"), offset=float(alpha)),
+        ]
+    )
+    view = TwoHopView(name="EPc", adjacency=EdgeAdjacencyType.DST_FW, predicate=predicate)
+    config = IndexConfig(
+        partition_keys=(PartitionKey.nbr_property("acc"),),
+        sort_keys=(SortKey.nbr_property("city"), SortKey.neighbour_id()),
+    )
+    return view, config

@@ -1,0 +1,112 @@
+"""Workload runner: timing and bookkeeping shared by benchmarks and examples.
+
+A :class:`WorkloadRunner` executes a dictionary of queries against an engine
+(anything exposing ``plan``/``run``/``memory_report``, i.e. a
+:class:`repro.query.engine.Database` or one of the baselines) and collects
+per-query runtimes, match counts and execution statistics, plus the memory
+footprint of the engine's index configuration.  Benchmarks use it to produce
+the rows of the paper's tables.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from ..query.pattern import QueryGraph
+from ..query.plan import QueryPlan
+
+
+@dataclass
+class QueryMeasurement:
+    """Result of running one query once."""
+
+    name: str
+    seconds: float
+    plan_seconds: float
+    count: int
+    lists_accessed: int
+    list_entries_fetched: int
+    intermediate_rows: int
+    plan: QueryPlan
+
+
+@dataclass
+class WorkloadMeasurement:
+    """Results of running a whole workload under one configuration."""
+
+    config_name: str
+    queries: Dict[str, QueryMeasurement] = field(default_factory=dict)
+    memory_bytes: int = 0
+    setup_seconds: float = 0.0
+
+    def runtime(self, query_name: str) -> float:
+        return self.queries[query_name].seconds
+
+    def total_runtime(self) -> float:
+        return sum(m.seconds for m in self.queries.values())
+
+    def memory_megabytes(self) -> float:
+        return self.memory_bytes / (1024 * 1024)
+
+    def speedup_over(self, baseline: "WorkloadMeasurement", query_name: str) -> float:
+        base = baseline.queries[query_name].seconds
+        mine = self.queries[query_name].seconds
+        if mine <= 0:
+            return float("inf")
+        return base / mine
+
+    def memory_ratio_over(self, baseline: "WorkloadMeasurement") -> float:
+        if baseline.memory_bytes == 0:
+            return float("inf") if self.memory_bytes else 1.0
+        return self.memory_bytes / baseline.memory_bytes
+
+
+class WorkloadRunner:
+    """Runs query workloads against an engine and records measurements."""
+
+    def __init__(self, engine, config_name: str, setup_seconds: float = 0.0) -> None:
+        self.engine = engine
+        self.config_name = config_name
+        self.setup_seconds = setup_seconds
+
+    def run(
+        self,
+        queries: Mapping[str, QueryGraph],
+        repetitions: int = 1,
+        warmup: bool = False,
+    ) -> WorkloadMeasurement:
+        """Run every query ``repetitions`` times and keep the best runtime.
+
+        The best-of-N convention mirrors how steady-state runtimes are usually
+        reported for in-memory systems; ``warmup`` adds one untimed run.
+        """
+        measurement = WorkloadMeasurement(
+            config_name=self.config_name, setup_seconds=self.setup_seconds
+        )
+        for name, query in queries.items():
+            plan_started = time.perf_counter()
+            plan = self.engine.plan(query)
+            plan_seconds = time.perf_counter() - plan_started
+            if warmup:
+                self.engine.run(plan)
+            best: Optional[QueryMeasurement] = None
+            for _ in range(max(repetitions, 1)):
+                result = self.engine.run(plan)
+                candidate = QueryMeasurement(
+                    name=name,
+                    seconds=result.seconds,
+                    plan_seconds=plan_seconds,
+                    count=result.count,
+                    lists_accessed=result.stats.lists_accessed,
+                    list_entries_fetched=result.stats.list_entries_fetched,
+                    intermediate_rows=result.stats.intermediate_rows,
+                    plan=plan,
+                )
+                if best is None or candidate.seconds < best.seconds:
+                    best = candidate
+            measurement.queries[name] = best
+        report = self.engine.memory_report()
+        measurement.memory_bytes = report.total
+        return measurement

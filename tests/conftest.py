@@ -1,0 +1,96 @@
+"""Shared fixtures for the test suite.
+
+Fixtures build small, deterministic graphs: the paper's running example
+(Figure 1), a small random financial graph, a small follower graph, and a
+small labelled graph, all sized so that the naive backtracking matcher can be
+used as a correctness oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.graph.generators import (
+    FinancialGraphSpec,
+    LabelledGraphSpec,
+    SocialGraphSpec,
+    generate_financial_graph,
+    generate_labelled_graph,
+    generate_social_graph,
+    running_example_graph,
+)
+from repro.query.naive import NaiveMatcher
+
+
+@pytest.fixture(scope="session")
+def example_graph():
+    """The paper's running example graph (Figure 1)."""
+    return running_example_graph()
+
+
+@pytest.fixture(scope="session")
+def financial_graph():
+    """A small financial graph with acc/city/amt/date/currency properties.
+
+    Sized (and de-skewed) so that the naive backtracking oracle can evaluate
+    the 5-vertex fraud queries in well under a second.
+    """
+    return generate_financial_graph(
+        FinancialGraphSpec(
+            num_vertices=120, num_edges=480, num_cities=6, skew=0.3, seed=7
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def social_graph():
+    """A small follower graph with a time property on edges."""
+    return generate_social_graph(
+        SocialGraphSpec(num_vertices=150, num_edges=600, skew=0.3, seed=13)
+    )
+
+
+@pytest.fixture(scope="session")
+def labelled_graph():
+    """A small G_{3,2}-style labelled graph."""
+    return generate_labelled_graph(
+        LabelledGraphSpec(
+            num_vertices=150,
+            num_edges=600,
+            num_vertex_labels=3,
+            num_edge_labels=2,
+            skew=0.3,
+            seed=21,
+        )
+    )
+
+
+@pytest.fixture()
+def example_db(example_graph):
+    return Database(example_graph)
+
+
+@pytest.fixture()
+def financial_db(financial_graph):
+    return Database(financial_graph)
+
+
+@pytest.fixture(scope="session")
+def example_oracle(example_graph):
+    return NaiveMatcher(example_graph)
+
+
+@pytest.fixture(scope="session")
+def financial_oracle(financial_graph):
+    return NaiveMatcher(financial_graph)
+
+
+@pytest.fixture(scope="session")
+def social_oracle(social_graph):
+    return NaiveMatcher(social_graph)
+
+
+@pytest.fixture(scope="session")
+def labelled_oracle(labelled_graph):
+    return NaiveMatcher(labelled_graph)

@@ -1,0 +1,155 @@
+"""Tests for the baseline engines, workload builders, and the workload runner."""
+
+import pytest
+
+from repro import Database
+from repro.baselines import Neo4jLikeEngine, TigerGraphLikeEngine
+from repro.errors import IndexConfigError
+from repro.index.views import OneHopView
+from repro.query.naive import NaiveMatcher
+from repro.workloads import WorkloadRunner, fraud, labelled_subgraph, magicrecs
+from repro.workloads.datasets import financial_dataset, labelled_dataset, social_dataset
+
+
+class TestBaselines:
+    def test_fixed_engines_answer_queries_correctly(self, labelled_graph):
+        query = labelled_subgraph.build_query("SQ1", 3, 2)
+        oracle = NaiveMatcher(labelled_graph).count(query)
+        for engine_cls in (Neo4jLikeEngine, TigerGraphLikeEngine):
+            engine = engine_cls(labelled_graph)
+            assert engine.count(query) == oracle
+
+    def test_fixed_engines_refuse_tuning(self, labelled_graph):
+        engine = Neo4jLikeEngine(labelled_graph)
+        with pytest.raises(IndexConfigError):
+            engine.reconfigure_primary(None)
+        with pytest.raises(IndexConfigError):
+            engine.create_vertex_index(OneHopView("v"))
+        with pytest.raises(IndexConfigError):
+            engine.create_edge_index(None)
+
+    def test_fixed_configs_differ(self):
+        assert Neo4jLikeEngine.fixed_config() != TigerGraphLikeEngine.fixed_config()
+        assert not Neo4jLikeEngine.fixed_config().sorted_by_neighbour_id
+        assert TigerGraphLikeEngine.fixed_config().sorted_by_neighbour_id
+
+    def test_describe(self, labelled_graph):
+        engine = TigerGraphLikeEngine(labelled_graph)
+        assert "tigergraph" in engine.describe()
+        assert engine.memory_report().total > 0
+
+
+class TestSubgraphWorkload:
+    def test_query_catalog(self):
+        specs = labelled_subgraph.query_specs()
+        assert len(specs) == 14
+        names = labelled_subgraph.query_names()
+        assert "SQ14" not in names
+        assert "SQ13" in names
+        full = labelled_subgraph.query_names(include_sq14=True)
+        assert "SQ14" in full
+
+    def test_sq13_is_a_five_edge_path(self):
+        query = labelled_subgraph.build_query("SQ13", 2, 2)
+        assert query.num_vertices == 6
+        assert query.num_edges == 5
+
+    def test_labels_cycle_through_alphabets(self):
+        query = labelled_subgraph.build_query("SQ4", 2, 2)
+        vertex_labels = {v.label for v in query.vertices.values()}
+        assert vertex_labels <= {"VL0", "VL1"}
+        edge_labels = {e.label for e in query.edges.values()}
+        assert edge_labels <= {"EL0", "EL1"}
+
+    def test_without_vertex_labels(self):
+        query = labelled_subgraph.build_query("SQ4", 2, 2, with_vertex_labels=False)
+        assert all(v.label is None for v in query.vertices.values())
+
+    def test_unknown_query_raises(self):
+        with pytest.raises(KeyError):
+            labelled_subgraph.build_query("SQ99", 2, 2)
+
+    def test_build_workload_subset(self):
+        workload = labelled_subgraph.build_workload(2, 2, names=["SQ1", "SQ4"])
+        assert set(workload) == {"SQ1", "SQ4"}
+        for query in workload.values():
+            assert query.is_connected()
+
+
+class TestMagicRecsWorkload:
+    def test_threshold_matches_requested_selectivity(self, social_graph):
+        alpha = magicrecs.time_threshold(social_graph, 0.05)
+        times = social_graph.edge_props.column("time")
+        fraction = (times < alpha).mean()
+        assert abs(fraction - 0.05) < 0.02
+
+    def test_queries_have_time_predicates(self, social_graph):
+        workload = magicrecs.build_workload(social_graph)
+        assert set(workload) == {"MR1", "MR2", "MR3"}
+        for name, query in workload.items():
+            assert query.is_connected()
+            assert any(
+                "time" in comparison.describe()
+                for comparison in query.predicate.conjuncts()
+            ), name
+
+    def test_mr3_shape(self, social_graph):
+        query = magicrecs.build_workload(social_graph)["MR3"]
+        assert query.num_vertices == 5
+        assert query.num_edges == 6
+
+
+class TestFraudWorkload:
+    def test_alpha_scales_with_selectivity(self, financial_graph):
+        small = fraud.amount_alpha(financial_graph, 0.01)
+        large = fraud.amount_alpha(financial_graph, 0.2)
+        assert small < large
+
+    def test_queries_built_and_connected(self, financial_graph):
+        workload = fraud.build_workload(financial_graph)
+        assert set(workload) == set(fraud.MF_QUERY_NAMES)
+        for query in workload.values():
+            assert query.is_connected()
+
+    def test_mf5_has_money_flow_chain(self, financial_graph):
+        query = fraud.build_workload(financial_graph)["MF5"]
+        tracked = query.tracked_edges()
+        assert {"e1", "e2", "e3", "e4"} <= tracked
+
+    def test_views(self, financial_graph):
+        view, config = fraud.vpc_view_and_config()
+        assert view.is_global
+        assert config.sort_keys[0].prop == "city"
+        eview, econfig = fraud.epc_view_and_config(50)
+        assert eview.adjacency.value == "destination-fw"
+        assert len(eview.predicate.conjuncts()) == 3
+
+
+class TestDatasetsAndRunner:
+    def test_scaled_datasets_build(self):
+        graph = labelled_dataset("brk", 2, 2, scale=0.05)
+        assert graph.num_vertices > 0
+        social = social_dataset("brk", scale=0.05)
+        assert social.schema.has_edge_property("time")
+        financial = financial_dataset("brk", scale=0.05)
+        assert financial.schema.has_edge_property("amt")
+
+    def test_workload_runner_collects_measurements(self, labelled_graph):
+        db = Database(labelled_graph)
+        runner = WorkloadRunner(db, "D")
+        queries = labelled_subgraph.build_workload(3, 2, names=["SQ1", "SQ4"])
+        measurement = runner.run(queries)
+        assert measurement.config_name == "D"
+        assert set(measurement.queries) == {"SQ1", "SQ4"}
+        assert measurement.memory_bytes > 0
+        assert measurement.total_runtime() > 0
+        assert measurement.runtime("SQ1") >= 0
+
+    def test_speedup_and_memory_ratio(self, labelled_graph):
+        db = Database(labelled_graph)
+        queries = labelled_subgraph.build_workload(3, 2, names=["SQ1"])
+        first = WorkloadRunner(db, "A").run(queries)
+        second = WorkloadRunner(db, "B").run(queries)
+        ratio = second.speedup_over(first, "SQ1")
+        assert ratio > 0
+        assert second.memory_ratio_over(first) == pytest.approx(1.0)

@@ -1,0 +1,169 @@
+"""Tests for the index DDL parser and its application through the Database."""
+
+import pytest
+
+from repro import Database
+from repro.errors import DDLParseError
+from repro.graph import Direction, EdgeAdjacencyType
+from repro.index.ddl import (
+    CreateOneHopCommand,
+    CreateTwoHopCommand,
+    ReconfigurePrimaryCommand,
+    parse_comparison,
+    parse_ddl,
+    parse_where,
+)
+from repro.predicates import CompareOp, Constant, PropertyRef
+from repro.storage.partition_keys import PartitionKey
+from repro.storage.sort_keys import SortKey
+
+
+class TestWhereParsing:
+    def test_parse_comparison_with_constant(self):
+        comparison = parse_comparison("eadj.amt > 10000")
+        assert comparison.left == PropertyRef("eadj", "amt")
+        assert comparison.op is CompareOp.GT
+        assert comparison.right == Constant(10000)
+
+    def test_parse_comparison_with_reference(self):
+        comparison = parse_comparison("eb.date < eadj.date")
+        assert comparison.right == PropertyRef("eadj", "date")
+
+    def test_parse_comparison_with_string(self):
+        comparison = parse_comparison("eadj.currency = USD")
+        assert comparison.right == Constant("USD")
+        quoted = parse_comparison("eadj.currency = 'USD'")
+        assert quoted.right == Constant("USD")
+
+    def test_parse_float(self):
+        comparison = parse_comparison("eadj.amt >= 10.5")
+        assert comparison.right == Constant(10.5)
+
+    def test_malformed_comparison_raises(self):
+        with pytest.raises(DDLParseError):
+            parse_comparison("not a comparison")
+
+    def test_parse_where_conjunction(self):
+        predicate = parse_where("eadj.currency=USD, eadj.amt>10000")
+        assert len(predicate.conjuncts()) == 2
+        predicate = parse_where("eadj.currency=USD AND eadj.amt>10000")
+        assert len(predicate.conjuncts()) == 2
+        assert parse_where("").is_true
+
+
+class TestReconfigureParsing:
+    def test_paper_example(self):
+        command = parse_ddl(
+            "RECONFIGURE PRIMARY INDEXES "
+            "PARTITION BY eadj.label, eadj.currency "
+            "SORT BY vnbr.city"
+        )
+        assert isinstance(command, ReconfigurePrimaryCommand)
+        assert command.config.partition_keys == (
+            PartitionKey.edge_label(),
+            PartitionKey.edge_property("currency"),
+        )
+        assert command.config.sort_keys == (SortKey.nbr_property("city"),)
+
+    def test_sort_defaults_to_neighbour_id(self):
+        command = parse_ddl("RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label")
+        assert command.config.sort_keys == (SortKey.neighbour_id(),)
+
+
+class TestCreateOneHopParsing:
+    def test_paper_example(self):
+        command = parse_ddl(
+            "CREATE 1-HOP VIEW LargeUSDTrnx "
+            "MATCH vs-[eadj]->vd "
+            "WHERE eadj.currency=USD, eadj.amt>10000 "
+            "INDEX AS FW-BW "
+            "PARTITION BY eadj.label SORT BY vnbr.ID"
+        )
+        assert isinstance(command, CreateOneHopCommand)
+        assert command.view.name == "LargeUSDTrnx"
+        assert len(command.view.predicate.conjuncts()) == 2
+        assert command.directions == (Direction.FORWARD, Direction.BACKWARD)
+        assert command.config.partition_keys == (PartitionKey.edge_label(),)
+        assert command.config.sort_keys == (SortKey.neighbour_id(),)
+
+    def test_edge_label_in_match(self):
+        command = parse_ddl(
+            "CREATE 1-HOP VIEW Wires MATCH vs-[eadj:Wire]->vd INDEX AS FW"
+        )
+        assert command.view.edge_label == "Wire"
+        assert command.view.predicate.is_true
+        assert command.directions == (Direction.FORWARD,)
+
+    def test_bw_direction(self):
+        command = parse_ddl("CREATE 1-HOP VIEW V MATCH vs-[eadj]->vd INDEX AS BW")
+        assert command.directions == (Direction.BACKWARD,)
+
+
+class TestCreateTwoHopParsing:
+    def test_paper_example(self):
+        command = parse_ddl(
+            "CREATE 2-HOP VIEW MoneyFlow "
+            "MATCH vs-[eb]->vd-[eadj]->vnbr "
+            "WHERE eb.date<eadj.date, eadj.amt<eb.amt "
+            "INDEX AS PARTITION BY eadj.label SORT BY vnbr.city"
+        )
+        assert isinstance(command, CreateTwoHopCommand)
+        assert command.view.adjacency is EdgeAdjacencyType.DST_FW
+        assert command.config.sort_keys == (SortKey.nbr_property("city"),)
+
+    @pytest.mark.parametrize(
+        "pattern,adjacency",
+        [
+            ("vs-[eb]->vd-[eadj]->vnbr", EdgeAdjacencyType.DST_FW),
+            ("vs-[eb]->vd<-[eadj]-vnbr", EdgeAdjacencyType.DST_BW),
+            ("vnbr-[eadj]->vs-[eb]->vd", EdgeAdjacencyType.SRC_FW),
+            ("vnbr<-[eadj]-vs-[eb]->vd", EdgeAdjacencyType.SRC_BW),
+        ],
+    )
+    def test_adjacency_types_from_match_shape(self, pattern, adjacency):
+        command = parse_ddl(
+            f"CREATE 2-HOP VIEW V MATCH {pattern} WHERE eb.date<eadj.date "
+            "INDEX AS PARTITION BY eadj.label"
+        )
+        assert command.view.adjacency is adjacency
+
+    def test_unrecognized_pattern_raises(self):
+        with pytest.raises(DDLParseError):
+            parse_ddl("CREATE 2-HOP VIEW V MATCH va-[x]->vb WHERE x.a<y.b")
+
+    def test_unknown_command_raises(self):
+        with pytest.raises(DDLParseError):
+            parse_ddl("DROP EVERYTHING")
+
+
+class TestDDLThroughDatabase:
+    def test_reconfigure_through_database(self, example_graph):
+        db = Database(example_graph)
+        result = db.execute_ddl(
+            "RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label, eadj.currency "
+            "SORT BY vnbr.city"
+        )
+        assert result.seconds >= 0
+        assert len(db.primary_index.config.partition_keys) == 2
+
+    def test_create_one_hop_through_database(self, example_graph):
+        db = Database(example_graph)
+        result = db.execute_ddl(
+            "CREATE 1-HOP VIEW UsdWires MATCH vs-[eadj:Wire]->vd "
+            "WHERE eadj.currency = USD "
+            "INDEX AS FW-BW PARTITION BY eadj.label SORT BY vnbr.ID"
+        )
+        assert len(result.names) == 2
+        assert set(db.store.secondary_index_names()) >= set(result.names)
+
+    def test_create_two_hop_through_database(self, example_graph):
+        db = Database(example_graph)
+        result = db.execute_ddl(
+            "CREATE 2-HOP VIEW MoneyFlow MATCH vs-[eb]->vd-[eadj]->vnbr "
+            "WHERE eb.date<eadj.date, eadj.amt<eb.amt "
+            "INDEX AS PARTITION BY eadj.label SORT BY vnbr.city"
+        )
+        assert result.indexed_edges > 0
+        assert "MoneyFlow" in db.store.secondary_index_names()
+        db.drop_index("MoneyFlow")
+        assert "MoneyFlow" not in db.store.secondary_index_names()

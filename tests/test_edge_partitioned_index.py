@@ -1,0 +1,175 @@
+"""Tests for secondary edge-partitioned A+ indexes (2-hop views)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexConfigError
+from repro.graph import EdgeAdjacencyType
+from repro.index.config import IndexConfig
+from repro.index.edge_partitioned import EdgePartitionedIndex
+from repro.index.primary import PrimaryIndex
+from repro.index.views import TwoHopView
+from repro.predicates import Predicate, cmp, prop
+from repro.storage.partition_keys import PartitionKey
+from repro.storage.sort_keys import SortKey
+
+
+def money_flow_view(adjacency=EdgeAdjacencyType.DST_FW, alpha=None):
+    conjuncts = [
+        cmp(prop("eb", "date"), "<", prop("eadj", "date")),
+        cmp(prop("eb", "amt"), ">", prop("eadj", "amt")),
+    ]
+    if alpha is not None:
+        conjuncts.append(cmp(prop("eb", "amt"), "<", prop("eadj", "amt"), offset=alpha))
+    return TwoHopView("MoneyFlow", adjacency, Predicate(conjuncts))
+
+
+def expected_pairs(graph, adjacency, predicate):
+    """Brute-force enumeration of qualifying (bound edge, adjacent edge) pairs."""
+    pairs = set()
+    for eb in range(graph.num_edges):
+        if adjacency.bound_endpoint_is_destination:
+            shared = int(graph.edge_dst[eb])
+        else:
+            shared = int(graph.edge_src[eb])
+        for eadj in range(graph.num_edges):
+            if eadj == eb:
+                continue
+            if adjacency.adjacency_direction.value == "fw":
+                if int(graph.edge_src[eadj]) != shared:
+                    continue
+                nbr = int(graph.edge_dst[eadj])
+            else:
+                if int(graph.edge_dst[eadj]) != shared:
+                    continue
+                nbr = int(graph.edge_src[eadj])
+            binding = {
+                "eb": ("edge", eb),
+                "eadj": ("edge", eadj),
+                "vnbr": ("vertex", nbr),
+                "vs": ("vertex", int(graph.edge_src[eb])),
+                "vd": ("vertex", int(graph.edge_dst[eb])),
+            }
+            if predicate.evaluate(graph, binding):
+                pairs.add((eb, eadj))
+    return pairs
+
+
+class TestTwoHopViewValidation:
+    def test_predicate_must_relate_both_edges(self):
+        with pytest.raises(IndexConfigError):
+            TwoHopView(
+                "Redundant",
+                EdgeAdjacencyType.DST_FW,
+                Predicate.of(cmp(prop("eadj", "amt"), "<", 10000)),
+            )
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(IndexConfigError):
+            TwoHopView(
+                "bad",
+                EdgeAdjacencyType.DST_FW,
+                Predicate.of(cmp(prop("eb", "amt"), ">", prop("zz", "amt"))),
+            )
+
+    def test_adjacency_direction_mapping(self):
+        assert EdgeAdjacencyType.DST_FW.adjacency_direction.value == "fw"
+        assert EdgeAdjacencyType.DST_BW.adjacency_direction.value == "bw"
+        assert EdgeAdjacencyType.SRC_FW.adjacency_direction.value == "bw"
+        assert EdgeAdjacencyType.SRC_BW.adjacency_direction.value == "fw"
+
+
+class TestEdgePartitionedContents:
+    @pytest.mark.parametrize(
+        "adjacency",
+        [
+            EdgeAdjacencyType.DST_FW,
+            EdgeAdjacencyType.DST_BW,
+            EdgeAdjacencyType.SRC_FW,
+            EdgeAdjacencyType.SRC_BW,
+        ],
+    )
+    def test_contents_match_bruteforce(self, example_graph, adjacency):
+        primary = PrimaryIndex(example_graph)
+        view = money_flow_view(adjacency)
+        index = EdgePartitionedIndex(
+            example_graph, view, IndexConfig.flat(), primary
+        )
+        expected = expected_pairs(example_graph, adjacency, view.predicate)
+        actual = set()
+        for eb in range(example_graph.num_edges):
+            edges, _ = index.list(eb)
+            for eadj in edges:
+                actual.add((eb, int(eadj)))
+        assert actual == expected
+
+    def test_neighbour_ids_are_correct(self, example_graph):
+        primary = PrimaryIndex(example_graph)
+        view = money_flow_view()
+        index = EdgePartitionedIndex(example_graph, view, IndexConfig.flat(), primary)
+        for eb in range(example_graph.num_edges):
+            edges, nbrs = index.list(eb)
+            for eadj, nbr in zip(edges, nbrs):
+                assert int(example_graph.edge_dst[int(eadj)]) == int(nbr)
+                assert int(example_graph.edge_src[int(eadj)]) == int(
+                    example_graph.edge_dst[eb]
+                )
+
+    def test_partitioning_and_sorting(self, financial_graph):
+        primary = PrimaryIndex(financial_graph)
+        alpha = 200.0
+        view = money_flow_view(alpha=alpha)
+        config = IndexConfig(
+            partition_keys=(PartitionKey.nbr_property("acc"),),
+            sort_keys=(SortKey.nbr_property("city"), SortKey.neighbour_id()),
+        )
+        index = EdgePartitionedIndex(financial_graph, view, config, primary)
+        acc = financial_graph.vertex_props.column("acc")
+        city = financial_graph.vertex_props.column("city")
+        checked = 0
+        for eb in range(0, financial_graph.num_edges, 17):
+            for acc_value in ("CQ", "SV"):
+                edges, nbrs = index.list(eb, [acc_value])
+                code = financial_graph.schema.vertex_property("acc").code_of(acc_value)
+                assert all(acc[n] == code for n in nbrs)
+                cities = city[nbrs]
+                assert list(cities) == sorted(cities)
+                checked += len(edges)
+        assert index.num_indexed_edges > 0
+
+    def test_alpha_reduces_index_size(self, financial_graph):
+        primary = PrimaryIndex(financial_graph)
+        without_cut = EdgePartitionedIndex(
+            financial_graph, money_flow_view(), IndexConfig.flat(), primary
+        )
+        with_cut = EdgePartitionedIndex(
+            financial_graph, money_flow_view(alpha=50.0), IndexConfig.flat(), primary
+        )
+        assert with_cut.num_indexed_edges < without_cut.num_indexed_edges
+
+    def test_memory_breakdown_uses_offsets_not_id_lists(self, financial_graph):
+        primary = PrimaryIndex(financial_graph)
+        index = EdgePartitionedIndex(
+            financial_graph, money_flow_view(alpha=100.0), IndexConfig.flat(), primary
+        )
+        breakdown = index.memory_breakdown()
+        assert breakdown.id_list_bytes == 0
+        assert breakdown.offset_list_bytes == index.offset_lists.nbytes()
+        if index.num_indexed_edges:
+            assert breakdown.offset_list_bytes / index.num_indexed_edges <= 2.0
+
+    def test_empty_view(self, example_graph):
+        primary = PrimaryIndex(example_graph)
+        never = TwoHopView(
+            "never",
+            EdgeAdjacencyType.DST_FW,
+            Predicate.of(
+                cmp(prop("eb", "amt"), "<", prop("eadj", "amt")),
+                cmp(prop("eb", "amt"), ">", prop("eadj", "amt")),
+            ),
+        )
+        index = EdgePartitionedIndex(example_graph, never, IndexConfig.flat(), primary)
+        assert index.num_indexed_edges == 0
+        for eb in range(example_graph.num_edges):
+            edges, _ = index.list(eb)
+            assert len(edges) == 0

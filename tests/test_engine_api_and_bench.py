@@ -1,0 +1,136 @@
+"""Tests for the Database facade, memory reporting, and bench helpers."""
+
+import pytest
+
+from repro import Database, Direction, IndexConfig
+from repro.bench.harness import (
+    config_d,
+    config_dp,
+    config_ds,
+    database_with_primary_config,
+    fraud_configs,
+    magicrecs_configs,
+    maintenance_configs,
+    vpt_view_and_config,
+)
+from repro.bench.reporting import Table, format_cell, ratio_string, speedup
+from repro.index.views import OneHopView
+from repro.workloads import fraud
+from repro.query.pattern import QueryGraph
+from repro.predicates import cmp, prop
+
+
+class TestDatabaseFacade:
+    def test_graph_and_primary_accessors(self, example_graph):
+        db = Database(example_graph)
+        assert db.graph is example_graph
+        assert db.primary_index.config == IndexConfig.default()
+        assert "PrimaryIndex" in db.describe() or "primary" in db.describe()
+
+    def test_run_accepts_query_or_plan(self, example_graph):
+        db = Database(example_graph)
+        query = QueryGraph("q")
+        query.add_vertex("a", label="Account")
+        query.add_vertex("b", label="Account")
+        query.add_edge("a", "b", label="Wire", name="e")
+        plan = db.plan(query)
+        assert db.run(query).count == db.run(plan).count
+        result = db.run(query, materialize=True)
+        assert len(result.matches) == result.count
+        assert len(result) == result.count
+
+    def test_memory_report_covers_secondary_indexes(self, example_graph):
+        db = Database(example_graph)
+        before = db.memory_report().total
+        db.create_vertex_index(
+            OneHopView("AllEdges"), directions=(Direction.FORWARD,), name="AllEdges"
+        )
+        after = db.memory_report().total
+        assert after > before
+        names = {b.name for b in db.memory_report().breakdowns}
+        assert "AllEdges" in names
+
+    def test_secondary_memory_overhead_is_small(self, financial_graph):
+        """The Table III/IV space claim at test scale: shared-level secondary
+        vertex indexes cost only a few percent of the primary indexes."""
+        db = Database(financial_graph)
+        base = db.memory_report().total
+        view, config = fraud.vpc_view_and_config()
+        db.create_vertex_index(
+            view,
+            directions=(Direction.FORWARD, Direction.BACKWARD),
+            config=config,
+            name="VPc",
+        )
+        ratio = db.memory_report().total / base
+        assert 1.0 < ratio < 1.35
+
+    def test_executor_and_optimizer_factories(self, example_graph):
+        db = Database(example_graph)
+        assert db.executor().graph is example_graph
+        assert db.optimizer().store is db.store
+        assert db.maintainer().store is db.store
+
+
+class TestBenchHarness:
+    def test_primary_configs(self):
+        assert config_d() == IndexConfig.default()
+        assert config_ds() == IndexConfig.sorted_by_nbr_label()
+        assert config_dp() == IndexConfig.partitioned_by_nbr_label()
+
+    def test_database_with_primary_config(self, labelled_graph):
+        configured = database_with_primary_config(labelled_graph, "Dp", config_dp())
+        assert configured.name == "Dp"
+        assert configured.setup_seconds > 0
+        assert configured.memory_bytes > 0
+
+    def test_magicrecs_configs(self, social_graph):
+        configs = magicrecs_configs(social_graph)
+        assert set(configs) == {"D", "D+VPt"}
+        assert configs["D+VPt"].indexed_edges == social_graph.num_edges
+        assert "VPt" in configs["D+VPt"].database.store.secondary_index_names()
+
+    def test_fraud_configs(self, financial_graph):
+        configs = fraud_configs(financial_graph, selectivity=0.1)
+        assert set(configs) == {"D", "D+VPc", "D+VPc+EPc"}
+        epc_db = configs["D+VPc+EPc"].database
+        assert "EPc" in epc_db.store.secondary_index_names()
+        assert configs["D+VPc+EPc"].indexed_edges > configs["D+VPc"].indexed_edges
+
+    def test_maintenance_configs(self):
+        configs = maintenance_configs()
+        assert list(configs) == ["Ds", "Dp", "Dps", "Dps+VPt", "Dps+EPt"]
+        assert configs["Dps+EPt"]["ept"] and configs["Dps+EPt"]["vpt"]
+        assert not configs["Ds"]["vpt"]
+
+    def test_vpt_view_and_config(self):
+        view, config = vpt_view_and_config()
+        assert view.is_global
+        assert config.sort_keys[0].prop == "time"
+
+
+class TestReporting:
+    def test_format_cell(self):
+        assert format_cell(None) == "—"
+        assert format_cell(0.123456) == "0.123"
+        assert format_cell(12.3) == "12.3"
+        assert format_cell(1234.5) == "1,234"
+        assert format_cell(12345) == "12,345"
+        assert format_cell("abc") == "abc"
+
+    def test_speedup_and_ratio(self):
+        assert speedup(2.0, 1.0) == pytest.approx(2.0)
+        assert speedup(None, 1.0) is None
+        assert speedup(1.0, 0.0) is None
+        assert ratio_string(2.0) == "2.00x"
+        assert ratio_string(None) == "—"
+
+    def test_table_rendering(self):
+        table = Table("Demo", ["a", "b"])
+        table.add_row(1, 2.5)
+        table.add_row("x", None)
+        table.add_note("a note")
+        text = table.render()
+        assert "Demo" in text and "a note" in text and "—" in text
+        with pytest.raises(ValueError):
+            table.add_row(1)

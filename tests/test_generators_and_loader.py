@@ -1,0 +1,171 @@
+"""Tests for the synthetic generators, dataset registry, loader and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphBuildError
+from repro.graph import Direction
+from repro.graph.generators import (
+    FinancialGraphSpec,
+    LabelledGraphSpec,
+    SocialGraphSpec,
+    generate_financial_graph,
+    generate_labelled_graph,
+    generate_social_graph,
+)
+from repro.graph.loader import assign_random_labels, load_csv, load_edge_list
+from repro.graph.statistics import DegreeSummary, GraphStatistics
+from repro.workloads import datasets
+
+
+class TestGenerators:
+    def test_labelled_graph_sizes_and_labels(self):
+        graph = generate_labelled_graph(
+            LabelledGraphSpec(500, 3000, num_vertex_labels=4, num_edge_labels=3, seed=1)
+        )
+        assert graph.num_vertices == 500
+        assert graph.num_edges == 3000
+        assert graph.schema.num_vertex_labels == 4
+        assert graph.schema.num_edge_labels == 3
+        assert set(np.unique(graph.vertex_labels)) <= set(range(4))
+
+    def test_generators_are_deterministic(self):
+        spec = LabelledGraphSpec(200, 1000, 2, 2, seed=9)
+        first = generate_labelled_graph(spec)
+        second = generate_labelled_graph(spec)
+        assert np.array_equal(first.edge_src, second.edge_src)
+        assert np.array_equal(first.edge_dst, second.edge_dst)
+        assert np.array_equal(first.edge_labels, second.edge_labels)
+
+    def test_no_self_loops(self):
+        graph = generate_labelled_graph(LabelledGraphSpec(100, 2000, seed=3))
+        assert not np.any(graph.edge_src == graph.edge_dst)
+
+    def test_power_law_graph_is_skewed(self):
+        graph = generate_labelled_graph(LabelledGraphSpec(2000, 20000, seed=5, skew=0.9))
+        degrees = graph.out_degree()
+        # A skewed graph has a maximum degree well above the average.
+        assert degrees.max() > 5 * degrees.mean()
+
+    def test_uniform_graph_when_skew_zero(self):
+        graph = generate_labelled_graph(LabelledGraphSpec(2000, 20000, seed=5, skew=0.0))
+        degrees = graph.out_degree()
+        assert degrees.max() < 8 * max(degrees.mean(), 1)
+
+    def test_social_graph_has_time_property(self):
+        graph = generate_social_graph(SocialGraphSpec(100, 500, seed=2))
+        times = graph.edge_props.column("time")
+        assert len(times) == 500
+        assert times.min() >= 0
+
+    def test_financial_graph_properties(self):
+        graph = generate_financial_graph(
+            FinancialGraphSpec(100, 600, num_cities=5, seed=4)
+        )
+        assert graph.schema.num_edge_labels == 2
+        amounts = graph.edge_props.column("amt")
+        assert amounts.min() >= 1 and amounts.max() <= 1000
+        cities = graph.vertex_props.column("city")
+        assert cities.min() >= 0 and cities.max() < 5
+
+
+class TestDatasetRegistry:
+    def test_dataset_names(self):
+        assert set(datasets.dataset_names()) == {"ork", "lj", "wt", "brk"}
+
+    def test_relative_size_ordering_preserved(self):
+        sizes = {
+            name: datasets.DATASETS[name].num_edges for name in datasets.dataset_names()
+        }
+        assert sizes["ork"] > sizes["lj"] > sizes["wt"] > sizes["brk"]
+
+    def test_labelled_dataset_cached(self):
+        first = datasets.labelled_dataset("brk", 2, 2, scale=0.1)
+        second = datasets.labelled_dataset("brk", 2, 2, scale=0.1)
+        assert first is second
+        datasets.clear_cache()
+        third = datasets.labelled_dataset("brk", 2, 2, scale=0.1)
+        assert third is not first
+
+    def test_table1_rows_have_paper_and_measured_columns(self):
+        rows = datasets.table1_rows(scale=0.05)
+        assert len(rows) == 4
+        for row in rows:
+            assert row["vertices"] > 0
+            assert row["edges"] > 0
+            assert "paper_edges" in row
+
+
+class TestLoader:
+    def test_load_edge_list(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# comment\n0 1\n1 2\n2 0 Friend\n")
+        graph = load_edge_list(path)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 3
+        assert graph.edge_label_name(2) == "Friend"
+
+    def test_load_edge_list_malformed_line(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphBuildError):
+            load_edge_list(path)
+
+    def test_assign_random_labels(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n1 2\n2 3\n3 0\n")
+        graph = load_edge_list(path)
+        labelled = assign_random_labels(graph, 3, 2, seed=1)
+        assert labelled.schema.num_vertex_labels == 3
+        assert labelled.schema.num_edge_labels == 2
+        assert labelled.num_edges == graph.num_edges
+
+    def test_load_csv(self, tmp_path):
+        vertex_csv = tmp_path / "v.csv"
+        vertex_csv.write_text("id,label,city\nA,Account,SF\nB,Account,LA\n")
+        edge_csv = tmp_path / "e.csv"
+        edge_csv.write_text("src,dst,label,amt\nA,B,Wire,10\n")
+        graph = load_csv(vertex_csv, edge_csv)
+        assert graph.num_vertices == 2
+        assert graph.num_edges == 1
+        assert graph.edge_property(0, "amt") == 10
+        assert graph.vertex_property(0, "city") == "SF"
+
+    def test_load_csv_requires_id_column(self, tmp_path):
+        vertex_csv = tmp_path / "v.csv"
+        vertex_csv.write_text("name,label\nA,Account\n")
+        edge_csv = tmp_path / "e.csv"
+        edge_csv.write_text("src,dst\nA,A\n")
+        with pytest.raises(GraphBuildError):
+            load_csv(vertex_csv, edge_csv)
+
+
+class TestStatistics:
+    def test_degree_summary(self):
+        summary = DegreeSummary.from_degrees(np.array([1, 2, 3, 4, 100]))
+        assert summary.maximum == 100
+        assert summary.mean == pytest.approx(22.0)
+
+    def test_empty_degree_summary(self):
+        summary = DegreeSummary.from_degrees(np.array([], dtype=int))
+        assert summary.maximum == 0
+
+    def test_label_selectivities_sum_to_one(self, labelled_graph):
+        stats = GraphStatistics(labelled_graph)
+        total = sum(
+            stats.edge_label_selectivity(code)
+            for code in range(labelled_graph.schema.num_edge_labels)
+        )
+        assert total == pytest.approx(1.0)
+        total_v = sum(
+            stats.vertex_label_selectivity(code)
+            for code in range(labelled_graph.schema.num_vertex_labels)
+        )
+        assert total_v == pytest.approx(1.0)
+
+    def test_average_degree_scaling(self, labelled_graph):
+        stats = GraphStatistics(labelled_graph)
+        full = stats.average_degree(Direction.FORWARD)
+        halved = stats.average_degree(Direction.FORWARD, extra_selectivity=0.5)
+        assert halved == pytest.approx(full / 2)
+        assert stats.average_degree(Direction.FORWARD, edge_label_code=0) <= full

@@ -1,0 +1,101 @@
+"""Tests for the graph schema: label dictionaries and property definitions."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.graph.schema import GraphSchema, PropertyDef
+from repro.graph.types import PropertyType
+
+
+class TestLabelDictionaries:
+    def test_labels_get_dense_codes(self):
+        schema = GraphSchema()
+        assert schema.add_vertex_label("Account") == 0
+        assert schema.add_vertex_label("Customer") == 1
+        assert schema.add_edge_label("Wire") == 0
+        assert schema.add_edge_label("Owns") == 1
+
+    def test_adding_same_label_is_idempotent(self):
+        schema = GraphSchema()
+        assert schema.add_vertex_label("Account") == 0
+        assert schema.add_vertex_label("Account") == 0
+        assert schema.num_vertex_labels == 1
+
+    def test_label_code_roundtrip(self):
+        schema = GraphSchema()
+        schema.add_edge_label("Wire")
+        schema.add_edge_label("DirDeposit")
+        assert schema.edge_label_code("DirDeposit") == 1
+        assert schema.edge_labels.name(1) == "DirDeposit"
+
+    def test_unknown_label_raises(self):
+        schema = GraphSchema()
+        with pytest.raises(SchemaError):
+            schema.vertex_label_code("Nope")
+
+    def test_label_membership(self):
+        schema = GraphSchema()
+        schema.add_vertex_label("User")
+        assert "User" in schema.vertex_labels
+        assert "Admin" not in schema.vertex_labels
+
+
+class TestPropertyDefs:
+    def test_categorical_property_requires_categories(self):
+        schema = GraphSchema()
+        with pytest.raises(SchemaError):
+            schema.add_edge_property("currency", PropertyType.CATEGORICAL)
+
+    def test_non_categorical_property_rejects_categories(self):
+        schema = GraphSchema()
+        with pytest.raises(SchemaError):
+            schema.add_edge_property("amt", PropertyType.INT, categories=["a"])
+
+    def test_category_code_roundtrip(self):
+        schema = GraphSchema()
+        prop = schema.add_edge_property(
+            "currency", PropertyType.CATEGORICAL, categories=["USD", "EUR"]
+        )
+        assert prop.code_of("EUR") == 1
+        assert prop.category_of(0) == "USD"
+
+    def test_unknown_category_raises(self):
+        prop = PropertyDef("c", PropertyType.CATEGORICAL, ("USD",))
+        with pytest.raises(SchemaError):
+            prop.code_of("GBP")
+        with pytest.raises(SchemaError):
+            prop.category_of(5)
+
+    def test_re_registering_with_same_type_returns_existing(self):
+        schema = GraphSchema()
+        first = schema.add_vertex_property("age", PropertyType.INT)
+        second = schema.add_vertex_property("age", PropertyType.INT)
+        assert first is second
+
+    def test_re_registering_with_different_type_raises(self):
+        schema = GraphSchema()
+        schema.add_vertex_property("age", PropertyType.INT)
+        with pytest.raises(SchemaError):
+            schema.add_vertex_property("age", PropertyType.FLOAT)
+
+    def test_num_categories_on_non_categorical_raises(self):
+        prop = PropertyDef("amt", PropertyType.INT)
+        with pytest.raises(SchemaError):
+            _ = prop.num_categories
+
+    def test_property_lookup(self):
+        schema = GraphSchema()
+        schema.add_edge_property("amt", PropertyType.INT)
+        assert schema.has_edge_property("amt")
+        assert not schema.has_edge_property("date")
+        assert schema.edge_property("amt").ptype is PropertyType.INT
+        with pytest.raises(SchemaError):
+            schema.edge_property("date")
+
+    def test_describe_mentions_labels_and_properties(self):
+        schema = GraphSchema()
+        schema.add_vertex_label("Account")
+        schema.add_edge_property("amt", PropertyType.INT)
+        text = schema.describe()
+        assert "Account" in text
+        assert "amt" in text

@@ -1,0 +1,171 @@
+"""Tests for index maintenance: buffered inserts, tombstones, merge semantics."""
+
+import numpy as np
+import pytest
+
+from repro import Database, Direction
+from repro.errors import MaintenanceError
+from repro.graph.generators import FinancialGraphSpec, generate_financial_graph
+from repro.index.config import IndexConfig
+from repro.index.views import OneHopView
+from repro.predicates import Predicate, cmp, prop
+from repro.query.naive import NaiveMatcher
+from repro.query.pattern import QueryGraph
+from repro.storage.partition_keys import PartitionKey
+from repro.storage.sort_keys import SortKey
+from repro.workloads import fraud
+
+
+def small_financial_graph(num_edges=200, seed=31):
+    return generate_financial_graph(
+        FinancialGraphSpec(
+            num_vertices=60, num_edges=num_edges, num_cities=5, skew=0.3, seed=seed
+        )
+    )
+
+
+def two_hop_count_query():
+    query = QueryGraph("two-hop")
+    for name in ("a", "b", "c"):
+        query.add_vertex(name, label="Account")
+    query.add_edge("a", "b", name="e1")
+    query.add_edge("b", "c", name="e2")
+    return query
+
+
+class TestInsertAndFlush:
+    def test_insert_then_flush_updates_graph_and_queries(self):
+        graph = small_financial_graph()
+        db = Database(graph)
+        maintainer = db.maintainer(merge_threshold=10_000)
+        before_edges = db.graph.num_edges
+
+        maintainer.insert_edge(0, 1, "Wire", amt=10, date=1, currency="USD")
+        maintainer.insert_edge(1, 2, "Wire", amt=5, date=2, currency="USD")
+        assert maintainer.stats.inserted_edges == 2
+        # Not merged yet: the visible graph still has the old edge count.
+        assert db.graph.num_edges == before_edges
+
+        maintainer.flush()
+        assert db.graph.num_edges == before_edges + 2
+        # The new edges are visible to queries after the merge.
+        query = QueryGraph("wire-pair")
+        query.add_vertex("a", label="Account")
+        query.add_vertex("b", label="Account")
+        query.add_edge("a", "b", label="Wire", name="e")
+        assert db.count(query) == NaiveMatcher(db.graph).count(query)
+
+    def test_flushed_indexes_equal_rebuild_from_scratch(self):
+        graph = small_financial_graph()
+        db = Database(graph)
+        maintainer = db.maintainer(merge_threshold=10_000)
+        rng = np.random.default_rng(5)
+        inserts = []
+        for _ in range(30):
+            src = int(rng.integers(0, graph.num_vertices))
+            dst = int(rng.integers(0, graph.num_vertices))
+            props = dict(
+                amt=int(rng.integers(1, 1000)),
+                date=int(rng.integers(0, 1800)),
+                currency="USD",
+            )
+            inserts.append((src, dst, "Wire", props))
+            maintainer.insert_edge(src, dst, "Wire", **props)
+        maintainer.flush()
+
+        rebuilt = Database(db.graph)
+        for vertex in range(db.graph.num_vertices):
+            got = db.primary_index.forward.list(vertex)
+            expected = rebuilt.primary_index.forward.list(vertex)
+            assert got[0].tolist() == expected[0].tolist()
+            assert got[1].tolist() == expected[1].tolist()
+
+    def test_merge_triggered_by_threshold(self):
+        graph = small_financial_graph()
+        db = Database(graph)
+        maintainer = db.maintainer(merge_threshold=6)
+        for index in range(5):
+            maintainer.insert_edge(index, index + 1, "Wire", amt=1, date=1, currency="USD")
+        assert maintainer.stats.merges >= 1
+        assert db.graph.num_edges > graph.num_edges
+
+    def test_invalid_inserts_rejected(self):
+        graph = small_financial_graph()
+        maintainer = Database(graph).maintainer()
+        with pytest.raises(MaintenanceError):
+            maintainer.insert_edge(0, 10_000, "Wire")
+        with pytest.raises(MaintenanceError):
+            maintainer.insert_edge(0, 1, "UnknownLabel")
+
+    def test_delete_edge_tombstone(self):
+        graph = small_financial_graph()
+        db = Database(graph)
+        maintainer = db.maintainer(merge_threshold=10_000)
+        maintainer.delete_edge(0)
+        maintainer.flush()
+        assert db.graph.num_edges == graph.num_edges - 1
+        # Rebuild from the merged graph agrees with the maintained store.
+        rebuilt = Database(db.graph)
+        for vertex in range(db.graph.num_vertices):
+            assert (
+                db.primary_index.forward.list(vertex)[0].tolist()
+                == rebuilt.primary_index.forward.list(vertex)[0].tolist()
+            )
+        with pytest.raises(MaintenanceError):
+            maintainer.delete_edge(10_000_000)
+
+
+class TestSecondaryIndexMaintenance:
+    def test_vertex_partitioned_index_kept_consistent(self):
+        graph = small_financial_graph()
+        db = Database(graph)
+        view = OneHopView(
+            "BigWire", predicate=Predicate.of(cmp(prop("eadj", "amt"), ">", 500))
+        )
+        db.create_vertex_index(view, directions=(Direction.FORWARD,), name="BigWire")
+        maintainer = db.maintainer(merge_threshold=10_000)
+        maintainer.insert_edge(3, 4, "Wire", amt=900, date=5, currency="USD")
+        maintainer.insert_edge(3, 5, "Wire", amt=10, date=5, currency="USD")
+        assert maintainer.stats.secondary_predicate_evaluations == 2
+        maintainer.flush()
+
+        index = db.store.vertex_indexes[0]
+        selected = set()
+        for vertex in range(db.graph.num_vertices):
+            selected.update(index.list(vertex)[0].tolist())
+        expected = {
+            e
+            for e in range(db.graph.num_edges)
+            if (db.graph.edge_property(e, "amt") or 0) > 500
+        }
+        assert selected == expected
+
+    def test_edge_partitioned_index_kept_consistent(self):
+        graph = small_financial_graph(num_edges=120)
+        db = Database(graph)
+        alpha = fraud.amount_alpha(graph, 0.2)
+        view, config = fraud.epc_view_and_config(alpha)
+        db.create_edge_index(view, config=config, name="EPc")
+        maintainer = db.maintainer(merge_threshold=10_000)
+        maintainer.insert_edge(1, 2, "Wire", amt=400, date=900, currency="USD")
+        maintainer.insert_edge(2, 3, "Wire", amt=390, date=950, currency="USD")
+        assert maintainer.stats.edge_partitioned_probes > 0
+        maintainer.flush()
+
+        maintained = db.store.edge_indexes[0]
+        rebuilt_db = Database(db.graph)
+        rebuilt_db.create_edge_index(view, config=config, name="EPc")
+        rebuilt = rebuilt_db.store.edge_indexes[0]
+        assert maintained.num_indexed_edges == rebuilt.num_indexed_edges
+        for eb in range(db.graph.num_edges):
+            assert sorted(maintained.list(eb)[0].tolist()) == sorted(
+                rebuilt.list(eb)[0].tolist()
+            )
+
+    def test_flush_without_pending_is_noop(self):
+        graph = small_financial_graph()
+        db = Database(graph)
+        maintainer = db.maintainer()
+        maintainer.flush()
+        assert maintainer.stats.merges == 0
+        assert db.graph.num_edges == graph.num_edges

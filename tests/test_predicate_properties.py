@@ -1,0 +1,122 @@
+"""Hypothesis property tests for the predicate algebra.
+
+These pin down the two facts the INDEX STORE relies on:
+
+* ``normalized()`` preserves the meaning of a comparison, and
+* ``comparison_subsumes(a, b)`` is *sound*: whenever it returns True, every
+  value satisfying ``b`` also satisfies ``a`` (an index whose lists guarantee
+  ``a`` can therefore serve a query needing ``b``).
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import GraphBuilder
+from repro.predicates import CompareOp, Comparison, Constant, PropertyRef, cmp, comparison_subsumes, prop
+
+_OPS = ["<", "<=", ">", ">=", "=", "<>"]
+_RANGE_OPS = ["<", "<=", ">", ">=", "="]
+
+
+def _tiny_graph(x_value, y_value):
+    """A two-vertex graph carrying the generated property values."""
+    builder = GraphBuilder()
+    a = builder.add_vertex("V", val=int(x_value))
+    b = builder.add_vertex("V", val=int(y_value))
+    builder.add_edge(a, b, "E")
+    return builder.build()
+
+
+class TestNormalizationPreservesMeaning:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        op=st.sampled_from(_OPS),
+        flip=st.booleans(),
+        x=st.integers(min_value=-50, max_value=50),
+        y=st.integers(min_value=-50, max_value=50),
+        offset=st.integers(min_value=-10, max_value=10),
+    )
+    def test_cross_variable_normalization(self, op, flip, x, y, offset):
+        graph = _tiny_graph(x, y)
+        left = prop("a", "val")
+        right = prop("b", "val")
+        comparison = cmp(left if not flip else right, op, right if not flip else left, offset=float(offset))
+        binding = {"a": ("vertex", 0), "b": ("vertex", 1)}
+        original = comparison.evaluate(graph, binding)
+        normalized = comparison.normalized().evaluate(graph, binding)
+        assert original == normalized
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        op=st.sampled_from(_OPS),
+        x=st.integers(min_value=-50, max_value=50),
+        constant=st.integers(min_value=-50, max_value=50),
+        constant_left=st.booleans(),
+    )
+    def test_constant_normalization(self, op, x, constant, constant_left):
+        graph = _tiny_graph(x, 0)
+        reference = prop("a", "val")
+        if constant_left:
+            comparison = Comparison(Constant(constant), _op(op), reference)
+        else:
+            comparison = cmp(reference, op, constant)
+        binding = {"a": ("vertex", 0)}
+        assert comparison.evaluate(graph, binding) == comparison.normalized().evaluate(
+            graph, binding
+        )
+
+
+def _op(symbol: str) -> CompareOp:
+    return {
+        "<": CompareOp.LT,
+        "<=": CompareOp.LE,
+        ">": CompareOp.GT,
+        ">=": CompareOp.GE,
+        "=": CompareOp.EQ,
+        "<>": CompareOp.NE,
+    }[symbol]
+
+
+class TestSubsumptionSoundness:
+    @settings(max_examples=300, deadline=None)
+    @given(
+        index_op=st.sampled_from(_RANGE_OPS),
+        query_op=st.sampled_from(_RANGE_OPS),
+        index_bound=st.integers(min_value=-20, max_value=20),
+        query_bound=st.integers(min_value=-20, max_value=20),
+        value=st.integers(min_value=-30, max_value=30),
+    )
+    def test_constant_range_subsumption_is_sound(
+        self, index_op, query_op, index_bound, query_bound, value
+    ):
+        reference = prop("e", "amt")
+        index_comp = cmp(reference, index_op, index_bound)
+        query_comp = cmp(reference, query_op, query_bound)
+        if not comparison_subsumes(index_comp, query_comp):
+            return
+        # Soundness: any value satisfying the query comparison satisfies the
+        # index comparison.
+        satisfies_query = _op(query_op).apply(value, query_bound)
+        satisfies_index = _op(index_op).apply(value, index_bound)
+        if satisfies_query:
+            assert satisfies_index
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        op=st.sampled_from(_OPS),
+        x=st.integers(min_value=-20, max_value=20),
+        y=st.integers(min_value=-20, max_value=20),
+        offset=st.integers(min_value=-5, max_value=5),
+    )
+    def test_cross_variable_subsumption_is_sound(self, op, x, y, offset):
+        graph = _tiny_graph(x, y)
+        binding = {"a": ("vertex", 0), "b": ("vertex", 1)}
+        forward = cmp(prop("a", "val"), op, prop("b", "val"), offset=float(offset))
+        flipped = forward.normalized()
+        # A comparison and its normalized form must subsume each other and
+        # evaluate identically.
+        assert comparison_subsumes(forward, flipped)
+        assert comparison_subsumes(flipped, forward)
+        assert forward.evaluate(graph, binding) == flipped.evaluate(graph, binding)

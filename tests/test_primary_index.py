@@ -1,0 +1,161 @@
+"""Tests for the primary A+ index (nested CSR over the whole edge set)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Direction
+from repro.graph.generators import LabelledGraphSpec, generate_labelled_graph
+from repro.index.config import IndexConfig
+from repro.index.primary import AdjacencyIndex, PrimaryIndex
+from repro.storage.partition_keys import PartitionKey
+from repro.storage.sort_keys import SortKey
+
+
+class TestForwardBackwardLists:
+    def test_forward_lists_contain_exactly_the_out_edges(self, example_graph):
+        index = AdjacencyIndex(example_graph, Direction.FORWARD, IndexConfig.default())
+        for vertex in range(example_graph.num_vertices):
+            edge_ids, nbr_ids = index.list(vertex)
+            expected = set(np.nonzero(example_graph.edge_src == vertex)[0].tolist())
+            assert set(edge_ids.tolist()) == expected
+            assert all(
+                int(example_graph.edge_dst[e]) == int(n)
+                for e, n in zip(edge_ids, nbr_ids)
+            )
+
+    def test_backward_lists_contain_exactly_the_in_edges(self, example_graph):
+        index = AdjacencyIndex(example_graph, Direction.BACKWARD, IndexConfig.default())
+        for vertex in range(example_graph.num_vertices):
+            edge_ids, nbr_ids = index.list(vertex)
+            expected = set(np.nonzero(example_graph.edge_dst == vertex)[0].tolist())
+            assert set(edge_ids.tolist()) == expected
+
+    def test_label_partition_access(self, example_graph):
+        index = AdjacencyIndex(example_graph, Direction.FORWARD, IndexConfig.default())
+        alice = 6  # v6 is the first Customer added (Charles) -> check by label instead
+        for vertex in range(example_graph.num_vertices):
+            edge_ids, _ = index.list(vertex, ["Wire"])
+            assert all(
+                example_graph.edge_label_name(int(e)) == "Wire" for e in edge_ids
+            )
+
+    def test_lists_sorted_by_neighbour_id(self, example_graph):
+        index = AdjacencyIndex(example_graph, Direction.FORWARD, IndexConfig.default())
+        for vertex in range(example_graph.num_vertices):
+            for label in ("Wire", "DirDeposit", "Owns"):
+                _, nbr_ids = index.list(vertex, [label])
+                assert list(nbr_ids) == sorted(nbr_ids)
+
+    def test_degree_and_positions(self, example_graph):
+        index = AdjacencyIndex(example_graph, Direction.FORWARD, IndexConfig.default())
+        degrees = [index.degree(v) for v in range(example_graph.num_vertices)]
+        assert sum(degrees) == example_graph.num_edges
+        positions = index.positions_of_edges(np.arange(example_graph.num_edges))
+        assert sorted(positions.tolist()) == list(range(example_graph.num_edges))
+
+    def test_sort_by_property(self, example_graph):
+        config = IndexConfig(
+            partition_keys=(PartitionKey.edge_label(),),
+            sort_keys=(SortKey.edge_property("date"), SortKey.neighbour_id()),
+        )
+        index = AdjacencyIndex(example_graph, Direction.FORWARD, config)
+        for vertex in range(example_graph.num_vertices):
+            edge_ids, _ = index.list(vertex, ["Wire"])
+            dates = [example_graph.edge_property(int(e), "date") for e in edge_ids]
+            assert dates == sorted(dates)
+
+    def test_nested_partitioning_by_currency(self, example_graph):
+        config = IndexConfig(
+            partition_keys=(
+                PartitionKey.edge_label(),
+                PartitionKey.edge_property("currency"),
+            ),
+            sort_keys=(SortKey.neighbour_id(),),
+        )
+        index = AdjacencyIndex(example_graph, Direction.FORWARD, config)
+        total = 0
+        for vertex in range(example_graph.num_vertices):
+            for label in ("Wire", "DirDeposit", "Owns"):
+                for currency in ("USD", "EUR", "GBP", None):
+                    edge_ids, _ = index.list(vertex, [label, currency])
+                    total += len(edge_ids)
+                    for edge in edge_ids:
+                        assert example_graph.edge_label_name(int(edge)) == label
+                        assert example_graph.edge_property(int(edge), "currency") == currency
+        assert total == example_graph.num_edges
+
+
+class TestPrimaryIndexPair:
+    def test_reconfigure_rebuilds_both_directions(self, example_graph):
+        primary = PrimaryIndex(example_graph)
+        result = primary.reconfigure(IndexConfig.partitioned_by_nbr_label())
+        assert result.seconds >= 0
+        assert primary.forward.config == IndexConfig.partitioned_by_nbr_label()
+        assert primary.backward.config == IndexConfig.partitioned_by_nbr_label()
+
+    def test_memory_grows_with_partitioning_level(self, labelled_graph):
+        base = PrimaryIndex(labelled_graph, config=IndexConfig.default())
+        partitioned = PrimaryIndex(
+            labelled_graph, config=IndexConfig.partitioned_by_nbr_label()
+        )
+        assert partitioned.nbytes() > base.nbytes()
+        # ...but only via the partition levels, not the ID lists.
+        assert (
+            partitioned.forward.id_lists.nbytes() == base.forward.id_lists.nbytes()
+        )
+
+    def test_sorting_change_has_no_memory_overhead(self, labelled_graph):
+        base = PrimaryIndex(labelled_graph, config=IndexConfig.default())
+        sorted_by_label = PrimaryIndex(
+            labelled_graph, config=IndexConfig.sorted_by_nbr_label()
+        )
+        assert sorted_by_label.nbytes() == base.nbytes()
+
+    def test_for_direction(self, example_graph):
+        primary = PrimaryIndex(example_graph)
+        assert primary.for_direction(Direction.FORWARD) is primary.forward
+        assert primary.for_direction(Direction.BACKWARD) is primary.backward
+
+
+@st.composite
+def random_graph(draw):
+    num_vertices = draw(st.integers(min_value=2, max_value=30))
+    num_edges = draw(st.integers(min_value=1, max_value=120))
+    seed = draw(st.integers(min_value=0, max_value=1000))
+    return generate_labelled_graph(
+        LabelledGraphSpec(
+            num_vertices=num_vertices,
+            num_edges=num_edges,
+            num_vertex_labels=draw(st.integers(min_value=1, max_value=3)),
+            num_edge_labels=draw(st.integers(min_value=1, max_value=3)),
+            seed=seed,
+        )
+    )
+
+
+class TestPrimaryIndexProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(random_graph())
+    def test_every_edge_indexed_exactly_once_per_direction(self, graph):
+        for direction in (Direction.FORWARD, Direction.BACKWARD):
+            index = AdjacencyIndex(graph, direction, IndexConfig.default())
+            seen = []
+            for vertex in range(graph.num_vertices):
+                edge_ids, _ = index.list(vertex)
+                seen.extend(edge_ids.tolist())
+            assert sorted(seen) == list(range(graph.num_edges))
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_graph())
+    def test_partition_prefix_equals_union_of_partitions(self, graph):
+        index = AdjacencyIndex(graph, Direction.FORWARD, IndexConfig.default())
+        labels = graph.schema.edge_labels.names
+        for vertex in range(graph.num_vertices):
+            full_edges, _ = index.list(vertex)
+            union = []
+            for label in labels:
+                edges, _ = index.list(vertex, [label])
+                union.extend(edges.tolist())
+            assert sorted(union) == sorted(full_edges.tolist())
