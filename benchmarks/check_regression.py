@@ -1,0 +1,103 @@
+"""Perf-regression gate for the EXTEND throughput benchmark.
+
+Runs ``bench_extend_throughput`` and compares the measured
+vectorized-vs-rowwise speedup of every scenario against the floors recorded
+in ``benchmarks/baseline_extend_throughput.json``.  Ratios — not absolute
+edges/sec — are compared, so the gate is meaningful on any machine; the
+baseline's ``tolerance`` shrinks each floor further to absorb timer noise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        [--baseline PATH] [--tolerance F] [--output PATH]
+
+Exits non-zero when a scenario regresses below its floor.  The same check is
+wired into the test suite as the opt-in ``perf`` pytest marker
+(``tests/test_perf_regression.py``, enabled with ``RUN_PERF_BENCH=1``), so
+perf regressions are visible per PR without slowing the default suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, Optional
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "baseline_extend_throughput.json"
+)
+
+
+def run_check(
+    baseline_path: str = DEFAULT_BASELINE,
+    tolerance: Optional[float] = None,
+    output_path: Optional[str] = None,
+) -> Dict:
+    """Run the throughput bench and gate it against the baseline.
+
+    Returns a report dict with ``ok`` (bool), ``failures`` (list of strings)
+    and ``results`` (the full benchmark report).
+    """
+    from bench_extend_throughput import run_benchmarks
+
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    if tolerance is None:
+        tolerance = float(baseline.get("tolerance", 0.2))
+
+    results = run_benchmarks()
+    failures = []
+    for name, spec in baseline["scenarios"].items():
+        measured = results["scenarios"].get(name)
+        if measured is None:
+            failures.append(f"{name}: scenario missing from benchmark results")
+            continue
+        floor = float(spec["min_speedup"]) * (1.0 - tolerance)
+        speedup = float(measured["speedup"])
+        if speedup < floor:
+            failures.append(
+                f"{name}: speedup {speedup:.2f}x below floor {floor:.2f}x "
+                f"(baseline min {spec['min_speedup']}x, tolerance {tolerance:.0%})"
+            )
+
+    report = {"ok": not failures, "failures": failures, "results": results}
+    if output_path:
+        with open(output_path, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+    return report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="override the baseline file's tolerance fraction",
+    )
+    parser.add_argument(
+        "--output", default=None, help="optional path for the JSON report"
+    )
+    args = parser.parse_args()
+
+    report = run_check(args.baseline, args.tolerance, args.output)
+    for name, row in report["results"]["scenarios"].items():
+        print(
+            f"{name:<16} speedup {row['speedup']:>6.1f}x "
+            f"({row['vectorized_eps']:,.0f} vs {row['rowwise_eps']:,.0f} edges/s)"
+        )
+    if report["ok"]:
+        print("OK: no perf regression against baseline")
+        return 0
+    for failure in report["failures"]:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

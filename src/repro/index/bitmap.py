@@ -27,6 +27,7 @@ import numpy as np
 from ..errors import IndexConfigError
 from ..graph.graph import PropertyGraph
 from ..graph.types import Direction, EDGE_ID_DTYPE
+from ..storage.csr import segment_mask_counts
 from ..storage.memory import MemoryBreakdown
 from .primary import AdjacencyIndex
 from .views import OneHopView
@@ -98,6 +99,27 @@ class BitmapSecondaryIndex:
         edge_ids = self.primary.id_lists.edge_ids[start:end][bits]
         nbr_ids = self.primary.id_lists.nbr_ids[start:end][bits]
         return edge_ids, nbr_ids
+
+    def list_many(
+        self, vertex_ids: np.ndarray, key_values: Sequence = ()
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched :meth:`list`: bit-test many primary lists in one gather.
+
+        Returns ``(edge_ids, nbr_ids, counts)``, the concatenation of the
+        per-vertex view lists plus their lengths, matching the batched
+        contract of the other index classes.
+        """
+        positions, counts = self.primary.csr.gather(
+            vertex_ids, self.primary.key_codes(key_values)
+        )
+        bits = self._bits[positions]
+        new_counts = segment_mask_counts(counts, bits)
+        selected = positions[bits]
+        return (
+            self.primary.id_lists.edge_ids[selected],
+            self.primary.id_lists.nbr_ids[selected],
+            new_counts,
+        )
 
     def access_cost(self, vertex_id: int, key_values: Sequence = ()) -> int:
         """Number of bit tests needed to read one list.

@@ -201,6 +201,30 @@ class EdgePartitionedIndex:
             self.adjacent_primary.id_lists.nbr_ids,
         )
 
+    def list_many(
+        self, bound_edge_ids: np.ndarray, key_values: Sequence = ()
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched :meth:`list`: adjacency lists of many bound edges at once.
+
+        Returns ``(edge_ids, nbr_ids, counts)``, the concatenation of the
+        per-bound-edge lists plus their lengths.  Shared vertices and primary
+        list starts are computed for the whole batch with array indexing.
+        """
+        bound_edge_ids = np.asarray(bound_edge_ids, dtype=np.int64)
+        positions, counts = self.csr.gather(
+            bound_edge_ids, self.key_codes(key_values)
+        )
+        shared = self._shared_vertices(bound_edge_ids)
+        primary_starts = self.adjacent_primary.csr.bound_starts(shared)
+        edge_ids, nbr_ids = self.offset_lists.resolve_many(
+            positions,
+            primary_starts,
+            counts,
+            self.adjacent_primary.id_lists.edge_ids,
+            self.adjacent_primary.id_lists.nbr_ids,
+        )
+        return edge_ids, nbr_ids, counts
+
     def degree(self, bound_edge_id: int, key_values: Sequence = ()) -> int:
         start, end = self.list_range(bound_edge_id, key_values)
         return end - start

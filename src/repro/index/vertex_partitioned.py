@@ -161,6 +161,27 @@ class VertexPartitionedIndex:
             self.primary.id_lists.nbr_ids,
         )
 
+    def list_many(
+        self, vertex_ids: np.ndarray, key_values: Sequence = ()
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched :meth:`list`: resolve many lists through the primary at once.
+
+        Returns ``(edge_ids, nbr_ids, counts)``, the concatenation of the
+        per-vertex lists plus their lengths.  The offset indirection is
+        applied to the whole batch with one gather and one vectorized add.
+        """
+        vertex_ids = np.asarray(vertex_ids, dtype=np.int64)
+        positions, counts = self.csr.gather(vertex_ids, self.key_codes(key_values))
+        primary_starts = self.primary.csr.bound_starts(vertex_ids)
+        edge_ids, nbr_ids = self.offset_lists.resolve_many(
+            positions,
+            primary_starts,
+            counts,
+            self.primary.id_lists.edge_ids,
+            self.primary.id_lists.nbr_ids,
+        )
+        return edge_ids, nbr_ids, counts
+
     def degree(self, vertex_id: int, key_values: Sequence = ()) -> int:
         start, end = self.list_range(vertex_id, key_values)
         return end - start

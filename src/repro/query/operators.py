@@ -17,6 +17,35 @@ Operators exchange :class:`~repro.query.binding.MatchBatch` objects.  Each
 operator records how many adjacency lists and list entries it touched in the
 :class:`ExecutionStats`, which is the empirical analogue of the optimizer's
 i-cost metric.
+
+Batch-at-a-time execution
+-------------------------
+
+The A+ index lookup is a constant number of array accesses, so on the hot
+path the interpreter — not the index — dominates when lists are fetched one
+partial match at a time.  The extension operators therefore default to a
+*batch-at-a-time* strategy built on the batched index contract:
+
+* every index class exposes ``list_many(bound_ids, key_values)`` returning
+  ``(edge_ids, nbr_ids, counts)`` — the concatenation of the addressed lists
+  plus per-row lengths — backed by one
+  :meth:`~repro.storage.csr.NestedCSR.gather` flat gather-index;
+* :meth:`ExtensionLeg.fetch_many` fetches a whole batch through that API and
+  applies the sorted-range filter and the residual predicate segment-wise,
+  vectorized over the concatenated candidates (bound columns repeated by
+  counts);
+* the single-leg :class:`ExtendIntersect` (the dominant plan shape) never
+  enters a per-row loop: the extended batch is emitted with one ``repeat`` and
+  one ``with_columns``;
+* multi-leg E/I and :class:`MultiExtend` keep the per-row intersection but
+  fetch all legs through the batched API and expand edge combinations with
+  vectorized ``np.repeat`` segment arithmetic instead of Python-int
+  accumulation.
+
+``vectorized=False`` on the extension operators selects the legacy
+tuple-at-a-time path; it is kept as the equivalence oracle and as the
+baseline of ``benchmarks/bench_extend_throughput.py``.  Both paths produce
+byte-identical batches and :class:`ExecutionStats` counters.
 """
 
 from __future__ import annotations
@@ -29,6 +58,7 @@ import numpy as np
 from ..errors import ExecutionError
 from ..graph.graph import PropertyGraph
 from ..index.index_store import AccessPath
+from ..storage.csr import segment_mask_counts
 from ..storage.sort_keys import SortKey
 from .binding import DEFAULT_BATCH_SIZE, MatchBatch
 from .pattern import QueryGraph
@@ -64,6 +94,46 @@ class ExecutionContext:
 
     def variable_kind(self, name: str) -> str:
         return self.query.variable_kind(name)
+
+
+# ----------------------------------------------------------------------
+# segment helpers
+# ----------------------------------------------------------------------
+def _combo_positions(
+    lefts: Sequence[np.ndarray],
+    sizes_per_leg: Sequence[np.ndarray],
+    multiplicity: np.ndarray,
+) -> Tuple[List[np.ndarray], int]:
+    """Vectorized cross-product expansion over many groups at once.
+
+    For group ``g`` (e.g. one common neighbour or one common key value), leg
+    ``l`` contributes a slice of ``sizes_per_leg[l][g]`` entries starting at
+    ``lefts[l][g]``; the group produces ``multiplicity[g]`` combinations (the
+    product of the per-leg sizes).  Returns, per leg, the int64 positions into
+    that leg's entry arrays selecting its member of every combination, groups
+    concatenated in order.  Combination order inside a group iterates the last
+    leg fastest, matching the historical tuple-at-a-time enumeration.
+    """
+    total = int(multiplicity.sum())
+    if total == 0:
+        return [np.empty(0, dtype=np.int64) for _ in lefts], 0
+    out_starts = np.cumsum(multiplicity) - multiplicity
+    within = np.arange(total, dtype=np.int64) - np.repeat(out_starts, multiplicity)
+    # suffix[l][g] = product of later legs' sizes: the stride of leg l's
+    # choice inside group g's combination enumeration.
+    suffixes: List[np.ndarray] = []
+    acc = np.ones(len(multiplicity), dtype=np.int64)
+    for sizes in reversed(list(sizes_per_leg)):
+        suffixes.append(acc)
+        acc = acc * sizes
+    suffixes.reverse()
+    positions = []
+    for left, sizes, suffix in zip(lefts, sizes_per_leg, suffixes):
+        choice = (within // np.repeat(suffix, multiplicity)) % np.repeat(
+            sizes, multiplicity
+        )
+        positions.append(np.repeat(left, multiplicity) + choice)
+    return positions, total
 
 
 # ----------------------------------------------------------------------
@@ -111,6 +181,40 @@ class SortedRangeFilter:
             end = int(np.searchsorted(values, self.value, side="right"))
             return edge_ids[start:end], nbr_ids[start:end]
         raise ExecutionError(f"sorted-range filter does not support {self.op}")
+
+    def _mask(self, values: np.ndarray) -> np.ndarray:
+        if self.op is CompareOp.LT:
+            return values < self.value
+        if self.op is CompareOp.LE:
+            return values <= self.value
+        if self.op is CompareOp.GT:
+            return values > self.value
+        if self.op is CompareOp.GE:
+            return values >= self.value
+        if self.op is CompareOp.EQ:
+            return values == self.value
+        raise ExecutionError(f"sorted-range filter does not support {self.op}")
+
+    def apply_segmented(
+        self,
+        graph: PropertyGraph,
+        edge_ids: np.ndarray,
+        nbr_ids: np.ndarray,
+        counts: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched :meth:`apply` over many concatenated lists.
+
+        Each segment of ``counts`` is individually sorted on the filter's
+        sort key, so the elementwise comparison mask selects exactly the
+        prefix/suffix/run that the per-list binary search of :meth:`apply`
+        would slice — one vectorized pass over all segment boundaries instead
+        of one ``searchsorted`` per list.  Returns the filtered ID arrays and
+        the updated per-segment counts.
+        """
+        if len(edge_ids) == 0:
+            return edge_ids, nbr_ids, counts
+        mask = self._mask(self.sort_key.values(graph, edge_ids, nbr_ids))
+        return edge_ids[mask], nbr_ids[mask], segment_mask_counts(counts, mask)
 
 
 # ----------------------------------------------------------------------
@@ -174,6 +278,47 @@ class ExtensionLeg:
             nbr_ids = nbr_ids[mask]
         return edge_ids, nbr_ids
 
+    def fetch_many(
+        self, context: ExecutionContext, batch: MatchBatch
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched :meth:`fetch`: read and filter the lists of a whole batch.
+
+        Fetches the adjacency lists of every partial match in ``batch``
+        through the index's ``list_many`` gather, then applies the
+        sorted-range filter segment-wise and the residual predicate in one
+        ``evaluate_bulk`` over the concatenated candidates (bound columns
+        repeated by counts).  Returns ``(edge_ids, nbr_ids, counts)`` equal to
+        concatenating :meth:`fetch` over the rows; stats counters advance
+        exactly as the per-row path would.
+        """
+        bound_ids = batch.column(self.bound_var)
+        edge_ids, nbr_ids, counts = self.access_path.index.list_many(
+            bound_ids, list(self.access_path.key_values)
+        )
+        context.stats.lists_accessed += len(bound_ids)
+        context.stats.list_entries_fetched += len(edge_ids)
+        if self.sorted_filter is not None and len(edge_ids):
+            edge_ids, nbr_ids, counts = self.sorted_filter.apply_segmented(
+                context.graph, edge_ids, nbr_ids, counts
+            )
+        if not self.residual.is_true and len(edge_ids):
+            arrays = {
+                self.target_var: ("vertex", nbr_ids),
+                self.edge_var: ("edge", edge_ids),
+            }
+            for name in self.residual.variables():
+                if name not in arrays:
+                    arrays[name] = (
+                        context.variable_kind(name),
+                        np.repeat(batch.column(name), counts),
+                    )
+            context.stats.predicate_evaluations += len(edge_ids)
+            mask = self.residual.evaluate_bulk(context.graph, {}, arrays)
+            edge_ids = edge_ids[mask]
+            nbr_ids = nbr_ids[mask]
+            counts = segment_mask_counts(counts, mask)
+        return edge_ids, nbr_ids, counts
+
     def describe(self) -> str:
         extras = []
         if self.sorted_filter is not None:
@@ -190,19 +335,6 @@ class ExtensionLeg:
         )
 
 
-def _cross_product_indices(sizes: Sequence[int]) -> List[np.ndarray]:
-    """Index arrays enumerating the cross product of ``sizes`` choices."""
-    total = 1
-    for size in sizes:
-        total *= size
-    indices = []
-    suffix = total
-    for size in sizes:
-        suffix //= size
-        indices.append((np.arange(total) // suffix) % size)
-    return indices
-
-
 def _intersect_leg_results(
     legs: Sequence[ExtensionLeg],
     results: Sequence[Tuple[np.ndarray, np.ndarray]],
@@ -210,7 +342,10 @@ def _intersect_leg_results(
     """Intersect per-leg candidates on neighbour ID.
 
     Returns the extended neighbour IDs (with multiplicity from parallel edges)
-    and, for legs that track their edge, the aligned edge-ID columns.
+    and, for legs that track their edge, the aligned edge-ID columns.  Edge
+    combinations of parallel edges are expanded with vectorized segment
+    arithmetic (:func:`_combo_positions`) rather than per-neighbour Python
+    loops.
     """
     common = np.unique(results[0][1])
     for _, nbr_ids in results[1:]:
@@ -221,36 +356,26 @@ def _intersect_leg_results(
     if len(common) == 0:
         return empty, {leg.edge_var: empty.copy() for leg in legs if leg.track_edge}
 
-    any_tracked = any(leg.track_edge for leg in legs)
-    if not any_tracked:
-        multiplicity = np.ones(len(common), dtype=np.int64)
-        for _, nbr_ids in results:
-            left = np.searchsorted(nbr_ids, common, side="left")
-            right = np.searchsorted(nbr_ids, common, side="right")
-            multiplicity *= right - left
-        return np.repeat(common, multiplicity), {}
+    lefts: List[np.ndarray] = []
+    sizes_per_leg: List[np.ndarray] = []
+    multiplicity = np.ones(len(common), dtype=np.int64)
+    for _, nbr_ids in results:
+        left = np.searchsorted(nbr_ids, common, side="left").astype(np.int64)
+        right = np.searchsorted(nbr_ids, common, side="right").astype(np.int64)
+        lefts.append(left)
+        sizes_per_leg.append(right - left)
+        multiplicity *= sizes_per_leg[-1]
+    out_nbrs = np.repeat(np.asarray(common, dtype=np.int64), multiplicity)
 
-    out_nbrs: List[int] = []
-    out_edges: Dict[str, List[int]] = {
-        leg.edge_var: [] for leg in legs if leg.track_edge
-    }
-    for nbr in common:
-        per_leg_slices = []
-        for leg, (edge_ids, nbr_ids) in zip(legs, results):
-            left = int(np.searchsorted(nbr_ids, nbr, side="left"))
-            right = int(np.searchsorted(nbr_ids, nbr, side="right"))
-            per_leg_slices.append(edge_ids[left:right])
-        sizes = [len(s) for s in per_leg_slices]
-        combos = _cross_product_indices(sizes)
-        count = len(combos[0]) if combos else 0
-        out_nbrs.extend([int(nbr)] * count)
-        for leg, edge_slice, combo in zip(legs, per_leg_slices, combos):
-            if leg.track_edge:
-                out_edges[leg.edge_var].extend(int(e) for e in edge_slice[combo])
-    return (
-        np.asarray(out_nbrs, dtype=np.int64),
-        {name: np.asarray(values, dtype=np.int64) for name, values in out_edges.items()},
-    )
+    if not any(leg.track_edge for leg in legs):
+        return out_nbrs, {}
+
+    positions, _ = _combo_positions(lefts, sizes_per_leg, multiplicity)
+    out_edges: Dict[str, np.ndarray] = {}
+    for leg, (edge_ids, _), pos in zip(legs, results, positions):
+        if leg.track_edge:
+            out_edges[leg.edge_var] = np.asarray(edge_ids, dtype=np.int64)[pos]
+    return out_nbrs, out_edges
 
 
 # ----------------------------------------------------------------------
@@ -316,67 +441,32 @@ class ExtendIntersect(PhysicalOperator):
         post_predicate: residual predicate evaluated (vectorized) on the
             extended batch, for conjuncts that reference the new vertex
             together with variables other than the legs' bound variables.
+        vectorized: select the batch-at-a-time gather path (default).  The
+            single-leg fast path extends a whole batch with no per-row Python
+            loop; the multi-leg path prefetches every leg through ``list_many``
+            and intersects per row.  ``False`` selects the legacy
+            tuple-at-a-time path (benchmark baseline / equivalence oracle).
     """
 
     target_var: str
     legs: List[ExtensionLeg]
     post_predicate: Predicate = field(default_factory=Predicate.true)
+    vectorized: bool = True
 
     def execute(
         self, batches: Iterable[MatchBatch], context: ExecutionContext
     ) -> Iterator[MatchBatch]:
-        tracked_vars = [leg.edge_var for leg in self.legs if leg.track_edge]
         for batch in batches:
             if len(batch) == 0:
                 continue
-            columns = {name: batch.column(name) for name in batch.variables}
-            kinds = {name: context.variable_kind(name) for name in batch.variables}
-            counts = np.zeros(len(batch), dtype=np.int64)
-            nbr_chunks: List[np.ndarray] = []
-            edge_chunks: Dict[str, List[np.ndarray]] = {v: [] for v in tracked_vars}
-
-            for row in range(len(batch)):
-                fixed = {
-                    name: (kinds[name], int(columns[name][row])) for name in columns
-                }
-                results = []
-                for leg in self.legs:
-                    edge_ids, nbr_ids = leg.fetch(context, fixed)
-                    if len(self.legs) > 1 and not leg.presorted_by_nbr and len(nbr_ids) > 1:
-                        order = np.argsort(nbr_ids, kind="stable")
-                        edge_ids = edge_ids[order]
-                        nbr_ids = nbr_ids[order]
-                    results.append((edge_ids, nbr_ids))
-                if len(self.legs) == 1:
-                    edge_ids, nbr_ids = results[0]
-                    counts[row] = len(nbr_ids)
-                    nbr_chunks.append(nbr_ids)
-                    if self.legs[0].track_edge:
-                        edge_chunks[self.legs[0].edge_var].append(edge_ids)
-                else:
-                    nbr_ids, edges = _intersect_leg_results(self.legs, results)
-                    counts[row] = len(nbr_ids)
-                    nbr_chunks.append(nbr_ids)
-                    for name in tracked_vars:
-                        edge_chunks[name].append(
-                            edges.get(name, np.empty(0, dtype=np.int64))
-                        )
-
-            total = int(counts.sum())
-            if total == 0:
+            if not self.vectorized:
+                extended = self._extend_rowwise(batch, context)
+            elif len(self.legs) == 1:
+                extended = self._extend_batch_single(batch, context)
+            else:
+                extended = self._extend_batch_multi(batch, context)
+            if extended is None:
                 continue
-            new_columns = {
-                self.target_var: np.concatenate(nbr_chunks)
-                if nbr_chunks
-                else np.empty(0, dtype=np.int64)
-            }
-            for name in tracked_vars:
-                new_columns[name] = (
-                    np.concatenate(edge_chunks[name])
-                    if edge_chunks[name]
-                    else np.empty(0, dtype=np.int64)
-                )
-            extended = batch.repeat(counts).with_columns(new_columns)
             context.stats.intermediate_rows += len(extended)
 
             if not self.post_predicate.is_true and len(extended):
@@ -390,6 +480,105 @@ class ExtendIntersect(PhysicalOperator):
             if len(extended):
                 for chunk in extended.split(context.batch_size):
                     yield chunk
+
+    # -- batch-at-a-time paths ------------------------------------------
+    def _extend_batch_single(
+        self, batch: MatchBatch, context: ExecutionContext
+    ) -> Optional[MatchBatch]:
+        """Single-leg fast path: one gather, one repeat, no per-row loop."""
+        leg = self.legs[0]
+        edge_ids, nbr_ids, counts = leg.fetch_many(context, batch)
+        if len(nbr_ids) == 0:
+            return None
+        new_columns = {self.target_var: nbr_ids}
+        if leg.track_edge:
+            new_columns[leg.edge_var] = edge_ids
+        return batch.repeat(counts).with_columns(new_columns)
+
+    def _extend_batch_multi(
+        self, batch: MatchBatch, context: ExecutionContext
+    ) -> Optional[MatchBatch]:
+        """Multi-leg path: batched fetch per leg, per-row intersection."""
+        tracked_vars = [leg.edge_var for leg in self.legs if leg.track_edge]
+        per_leg = []
+        for leg in self.legs:
+            edge_ids, nbr_ids, counts = leg.fetch_many(context, batch)
+            ends = np.cumsum(counts)
+            per_leg.append((edge_ids, nbr_ids, ends - counts, ends))
+
+        counts_out = np.zeros(len(batch), dtype=np.int64)
+        nbr_chunks: List[np.ndarray] = []
+        edge_chunks: Dict[str, List[np.ndarray]] = {v: [] for v in tracked_vars}
+        for row in range(len(batch)):
+            results = []
+            for leg, (edge_ids, nbr_ids, starts, ends) in zip(self.legs, per_leg):
+                row_edges = edge_ids[starts[row] : ends[row]]
+                row_nbrs = nbr_ids[starts[row] : ends[row]]
+                if not leg.presorted_by_nbr and len(row_nbrs) > 1:
+                    order = np.argsort(row_nbrs, kind="stable")
+                    row_edges = row_edges[order]
+                    row_nbrs = row_nbrs[order]
+                results.append((row_edges, row_nbrs))
+            row_nbrs, row_edge_cols = _intersect_leg_results(self.legs, results)
+            counts_out[row] = len(row_nbrs)
+            nbr_chunks.append(row_nbrs)
+            for name in tracked_vars:
+                edge_chunks[name].append(
+                    row_edge_cols.get(name, np.empty(0, dtype=np.int64))
+                )
+
+        if int(counts_out.sum()) == 0:
+            return None
+        new_columns = {self.target_var: np.concatenate(nbr_chunks)}
+        for name in tracked_vars:
+            new_columns[name] = np.concatenate(edge_chunks[name])
+        return batch.repeat(counts_out).with_columns(new_columns)
+
+    # -- legacy tuple-at-a-time path ------------------------------------
+    def _extend_rowwise(
+        self, batch: MatchBatch, context: ExecutionContext
+    ) -> Optional[MatchBatch]:
+        """The seed per-row path: one ``index.list`` call per partial match."""
+        tracked_vars = [leg.edge_var for leg in self.legs if leg.track_edge]
+        columns = {name: batch.column(name) for name in batch.variables}
+        kinds = {name: context.variable_kind(name) for name in batch.variables}
+        counts = np.zeros(len(batch), dtype=np.int64)
+        nbr_chunks: List[np.ndarray] = []
+        edge_chunks: Dict[str, List[np.ndarray]] = {v: [] for v in tracked_vars}
+
+        for row in range(len(batch)):
+            fixed = {
+                name: (kinds[name], int(columns[name][row])) for name in columns
+            }
+            results = []
+            for leg in self.legs:
+                edge_ids, nbr_ids = leg.fetch(context, fixed)
+                if len(self.legs) > 1 and not leg.presorted_by_nbr and len(nbr_ids) > 1:
+                    order = np.argsort(nbr_ids, kind="stable")
+                    edge_ids = edge_ids[order]
+                    nbr_ids = nbr_ids[order]
+                results.append((edge_ids, nbr_ids))
+            if len(self.legs) == 1:
+                edge_ids, nbr_ids = results[0]
+                counts[row] = len(nbr_ids)
+                nbr_chunks.append(nbr_ids)
+                if self.legs[0].track_edge:
+                    edge_chunks[self.legs[0].edge_var].append(edge_ids)
+            else:
+                nbr_ids, edges = _intersect_leg_results(self.legs, results)
+                counts[row] = len(nbr_ids)
+                nbr_chunks.append(nbr_ids)
+                for name in tracked_vars:
+                    edge_chunks[name].append(
+                        edges.get(name, np.empty(0, dtype=np.int64))
+                    )
+
+        if int(counts.sum()) == 0:
+            return None
+        new_columns = {self.target_var: np.concatenate(nbr_chunks)}
+        for name in tracked_vars:
+            new_columns[name] = np.concatenate(edge_chunks[name])
+        return batch.repeat(counts).with_columns(new_columns)
 
     def describe(self) -> str:
         mode = "EXTEND" if len(self.legs) == 1 else f"E/I x{len(self.legs)}"
@@ -418,11 +607,15 @@ class MultiExtend(PhysicalOperator):
         legs: adjacency accesses; each leg carries its own target vertex.
         equality_key: the :class:`SortKey` the legs are sorted and joined on.
         post_predicate: residual predicate over the extended batch.
+        vectorized: fetch all legs through the batched ``list_many`` API and
+            expand key-equal combinations with vectorized segment arithmetic
+            (default); ``False`` selects the legacy per-row fetch path.
     """
 
     legs: List[ExtensionLeg]
     equality_key: SortKey
     post_predicate: Predicate = field(default_factory=Predicate.true)
+    vectorized: bool = True
 
     @property
     def target_vars(self) -> List[str]:
@@ -435,37 +628,15 @@ class MultiExtend(PhysicalOperator):
     def execute(
         self, batches: Iterable[MatchBatch], context: ExecutionContext
     ) -> Iterator[MatchBatch]:
-        tracked_vars = [leg.edge_var for leg in self.legs if leg.track_edge]
-        target_vars = self.target_vars
         for batch in batches:
             if len(batch) == 0:
                 continue
-            columns = {name: batch.column(name) for name in batch.variables}
-            kinds = {name: context.variable_kind(name) for name in batch.variables}
-            counts = np.zeros(len(batch), dtype=np.int64)
-            target_chunks: Dict[str, List[np.ndarray]] = {v: [] for v in target_vars}
-            edge_chunks: Dict[str, List[np.ndarray]] = {v: [] for v in tracked_vars}
-
-            for row in range(len(batch)):
-                fixed = {
-                    name: (kinds[name], int(columns[name][row])) for name in columns
-                }
-                row_targets, row_edges, produced = self._extend_row(context, fixed)
-                counts[row] = produced
-                for name in target_vars:
-                    target_chunks[name].append(row_targets[name])
-                for name in tracked_vars:
-                    edge_chunks[name].append(row_edges[name])
-
-            total = int(counts.sum())
-            if total == 0:
+            if self.vectorized:
+                extended = self._extend_batchwise(batch, context)
+            else:
+                extended = self._extend_rowwise(batch, context)
+            if extended is None:
                 continue
-            new_columns: Dict[str, np.ndarray] = {}
-            for name in target_vars:
-                new_columns[name] = np.concatenate(target_chunks[name])
-            for name in tracked_vars:
-                new_columns[name] = np.concatenate(edge_chunks[name])
-            extended = batch.repeat(counts).with_columns(new_columns)
             context.stats.intermediate_rows += len(extended)
 
             if not self.post_predicate.is_true and len(extended):
@@ -479,6 +650,86 @@ class MultiExtend(PhysicalOperator):
             if len(extended):
                 for chunk in extended.split(context.batch_size):
                     yield chunk
+
+    # -- batch-at-a-time path -------------------------------------------
+    def _extend_batchwise(
+        self, batch: MatchBatch, context: ExecutionContext
+    ) -> Optional[MatchBatch]:
+        """Fetch every leg for the whole batch, then join per row."""
+        graph = context.graph
+        tracked_vars = [leg.edge_var for leg in self.legs if leg.track_edge]
+        target_vars = self.target_vars
+        per_leg = []
+        for leg in self.legs:
+            edge_ids, nbr_ids, counts = leg.fetch_many(context, batch)
+            keys = self.equality_key.values(graph, edge_ids, nbr_ids)
+            ends = np.cumsum(counts)
+            presorted = leg.access_path.sorted_by(self.equality_key)
+            per_leg.append((edge_ids, nbr_ids, keys, ends - counts, ends, presorted))
+
+        counts_out = np.zeros(len(batch), dtype=np.int64)
+        target_chunks: Dict[str, List[np.ndarray]] = {v: [] for v in target_vars}
+        edge_chunks: Dict[str, List[np.ndarray]] = {v: [] for v in tracked_vars}
+        for row in range(len(batch)):
+            leg_entries = []
+            for edge_ids, nbr_ids, keys, starts, ends, presorted in per_leg:
+                row_edges = edge_ids[starts[row] : ends[row]]
+                row_nbrs = nbr_ids[starts[row] : ends[row]]
+                row_keys = keys[starts[row] : ends[row]]
+                if len(row_keys) > 1 and not presorted:
+                    order = np.argsort(row_keys, kind="stable")
+                    row_edges = row_edges[order]
+                    row_nbrs = row_nbrs[order]
+                    row_keys = row_keys[order]
+                leg_entries.append((row_edges, row_nbrs, row_keys))
+            row_targets, row_edge_cols, produced = self._join_entries(leg_entries)
+            counts_out[row] = produced
+            for name in target_vars:
+                target_chunks[name].append(row_targets[name])
+            for name in tracked_vars:
+                edge_chunks[name].append(row_edge_cols[name])
+
+        if int(counts_out.sum()) == 0:
+            return None
+        new_columns: Dict[str, np.ndarray] = {
+            name: np.concatenate(target_chunks[name]) for name in target_vars
+        }
+        for name in tracked_vars:
+            new_columns[name] = np.concatenate(edge_chunks[name])
+        return batch.repeat(counts_out).with_columns(new_columns)
+
+    # -- legacy tuple-at-a-time path ------------------------------------
+    def _extend_rowwise(
+        self, batch: MatchBatch, context: ExecutionContext
+    ) -> Optional[MatchBatch]:
+        """The seed per-row path: fetch and join one partial match at a time."""
+        tracked_vars = [leg.edge_var for leg in self.legs if leg.track_edge]
+        target_vars = self.target_vars
+        columns = {name: batch.column(name) for name in batch.variables}
+        kinds = {name: context.variable_kind(name) for name in batch.variables}
+        counts = np.zeros(len(batch), dtype=np.int64)
+        target_chunks: Dict[str, List[np.ndarray]] = {v: [] for v in target_vars}
+        edge_chunks: Dict[str, List[np.ndarray]] = {v: [] for v in tracked_vars}
+
+        for row in range(len(batch)):
+            fixed = {
+                name: (kinds[name], int(columns[name][row])) for name in columns
+            }
+            row_targets, row_edges, produced = self._extend_row(context, fixed)
+            counts[row] = produced
+            for name in target_vars:
+                target_chunks[name].append(row_targets[name])
+            for name in tracked_vars:
+                edge_chunks[name].append(row_edges[name])
+
+        if int(counts.sum()) == 0:
+            return None
+        new_columns: Dict[str, np.ndarray] = {
+            name: np.concatenate(target_chunks[name]) for name in target_vars
+        }
+        for name in tracked_vars:
+            new_columns[name] = np.concatenate(edge_chunks[name])
+        return batch.repeat(counts).with_columns(new_columns)
 
     def _extend_row(
         self, context: ExecutionContext, fixed: Dict[str, Tuple[str, int]]
@@ -495,11 +746,21 @@ class MultiExtend(PhysicalOperator):
                 nbr_ids = nbr_ids[order]
                 keys = keys[order]
             leg_entries.append((edge_ids, nbr_ids, keys))
+        return self._join_entries(leg_entries)
 
+    def _join_entries(
+        self, leg_entries: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray]]
+    ) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray], int]:
+        """Join key-sorted leg entries on the equality key, vectorized.
+
+        Combination expansion over equal-key runs uses
+        :func:`_combo_positions`; legs sharing a target vertex are reconciled
+        with one boolean mask instead of per-combination Python ints.
+        """
         empty = np.empty(0, dtype=np.int64)
-        targets: Dict[str, List[int]] = {v: [] for v in self.target_vars}
-        edges: Dict[str, List[int]] = {
-            leg.edge_var: [] for leg in self.legs if leg.track_edge
+        targets: Dict[str, np.ndarray] = {v: empty.copy() for v in self.target_vars}
+        edges: Dict[str, np.ndarray] = {
+            leg.edge_var: empty.copy() for leg in self.legs if leg.track_edge
         }
 
         common = np.unique(leg_entries[0][2])
@@ -508,44 +769,38 @@ class MultiExtend(PhysicalOperator):
                 break
             common = np.intersect1d(common, keys)
         if len(common) == 0:
-            return (
-                {v: empty.copy() for v in self.target_vars},
-                {v: empty.copy() for v in edges},
-                0,
-            )
+            return targets, edges, 0
 
-        produced = 0
-        for key in common:
-            slices = []
-            for edge_ids, nbr_ids, keys in leg_entries:
-                left = int(np.searchsorted(keys, key, side="left"))
-                right = int(np.searchsorted(keys, key, side="right"))
-                slices.append((edge_ids[left:right], nbr_ids[left:right]))
-            sizes = [len(s[0]) for s in slices]
-            combos = _cross_product_indices(sizes)
-            count = len(combos[0]) if combos else 0
-            if count == 0:
-                continue
-            combo_targets = {}
-            keep = np.ones(count, dtype=bool)
-            for leg, (edge_slice, nbr_slice), combo in zip(self.legs, slices, combos):
-                chosen_nbrs = nbr_slice[combo]
-                if leg.target_var in combo_targets:
-                    keep &= combo_targets[leg.target_var] == chosen_nbrs
-                else:
-                    combo_targets[leg.target_var] = chosen_nbrs
-            produced += int(keep.sum())
-            for name, values in combo_targets.items():
-                targets[name].extend(int(v) for v in values[keep])
-            for leg, (edge_slice, _), combo in zip(self.legs, slices, combos):
-                if leg.track_edge:
-                    edges[leg.edge_var].extend(int(e) for e in edge_slice[combo][keep])
+        lefts: List[np.ndarray] = []
+        sizes_per_leg: List[np.ndarray] = []
+        multiplicity = np.ones(len(common), dtype=np.int64)
+        for _, _, keys in leg_entries:
+            left = np.searchsorted(keys, common, side="left").astype(np.int64)
+            right = np.searchsorted(keys, common, side="right").astype(np.int64)
+            lefts.append(left)
+            sizes_per_leg.append(right - left)
+            multiplicity *= sizes_per_leg[-1]
+        positions, total = _combo_positions(lefts, sizes_per_leg, multiplicity)
+        if total == 0:
+            return targets, edges, 0
 
-        return (
-            {name: np.asarray(values, dtype=np.int64) for name, values in targets.items()},
-            {name: np.asarray(values, dtype=np.int64) for name, values in edges.items()},
-            produced,
-        )
+        keep = np.ones(total, dtype=bool)
+        combo_targets: Dict[str, np.ndarray] = {}
+        combo_edges: Dict[str, np.ndarray] = {}
+        for leg, (edge_ids, nbr_ids, _), pos in zip(self.legs, leg_entries, positions):
+            chosen_nbrs = np.asarray(nbr_ids, dtype=np.int64)[pos]
+            if leg.target_var in combo_targets:
+                keep &= combo_targets[leg.target_var] == chosen_nbrs
+            else:
+                combo_targets[leg.target_var] = chosen_nbrs
+            if leg.track_edge:
+                combo_edges[leg.edge_var] = np.asarray(edge_ids, dtype=np.int64)[pos]
+        produced = int(keep.sum())
+        for name, values in combo_targets.items():
+            targets[name] = values[keep]
+        for name, values in combo_edges.items():
+            edges[name] = values[keep]
+        return targets, edges, produced
 
     def describe(self) -> str:
         legs = "; ".join(leg.describe() for leg in self.legs)

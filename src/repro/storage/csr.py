@@ -12,6 +12,16 @@ is the property that distinguishes adjacency-list indexes from tree indexes
 The class is payload-agnostic: it computes the permutation that sorts the
 entries and the group-boundary offsets; callers apply the permutation to their
 own payload arrays (edge IDs, neighbour IDs, or offsets into a primary list).
+
+Two access granularities are exposed:
+
+* **tuple-at-a-time** — :meth:`group_range` returns the ``[start, end)`` range
+  of one (partial) key prefix, a constant number of array accesses;
+* **batch-at-a-time** — :meth:`gather` computes the ranges of a whole array of
+  bound IDs (sharing one partition-code prefix) with pure array indexing and
+  materializes a single flat gather-index covering every addressed list, so
+  the operator stack can fetch thousands of adjacency lists without entering
+  the Python interpreter per list.
 """
 
 from __future__ import annotations
@@ -22,6 +32,21 @@ import numpy as np
 
 from ..errors import IndexLookupError
 from ..graph.types import CSR_OFFSET_BYTES, OFFSET_DTYPE
+
+
+def segment_mask_counts(counts: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Per-segment True counts of a mask over concatenated segments.
+
+    ``counts`` partitions ``mask`` into consecutive segments (as produced by
+    :meth:`NestedCSR.gather`); the result is the number of surviving entries
+    per segment, so that ``array[mask]`` can be re-segmented without a Python
+    loop.
+    """
+    kept = np.empty(len(mask) + 1, dtype=np.int64)
+    kept[0] = 0
+    np.cumsum(mask, out=kept[1:])
+    ends = np.cumsum(counts)
+    return kept[ends] - kept[ends - counts]
 
 
 class NestedCSR:
@@ -60,10 +85,14 @@ class NestedCSR:
         bound_ids = np.asarray(bound_ids, dtype=np.int64)
         codes = [np.asarray(c, dtype=np.int64) for c in level_codes]
 
-        # Total number of most-granular groups.
-        total_groups = self.num_bound
+        # Total number of most-granular groups, and the number of most
+        # granular groups under each bound ID (cached: the product is needed
+        # by every vectorized lookup).
+        per_bound = 1
         for domain in self.level_domains:
-            total_groups *= domain
+            per_bound *= domain
+        self._per_bound = per_bound
+        total_groups = self.num_bound * per_bound
         self._total_groups = total_groups
 
         # Flattened group ID of each entry at the deepest level.
@@ -84,19 +113,16 @@ class NestedCSR:
             self.order = np.empty(0, dtype=np.int64)
 
         counts = np.bincount(group_ids, minlength=total_groups)
-        self.offsets = np.concatenate(
-            [[0], np.cumsum(counts, dtype=OFFSET_DTYPE)]
-        ).astype(OFFSET_DTYPE)
+        # Cumsum directly into a preallocated offsets array; building it via
+        # ``concatenate([[0], cumsum]).astype(...)`` would allocate the array
+        # twice.
+        self.offsets = np.empty(total_groups + 1, dtype=OFFSET_DTYPE)
+        self.offsets[0] = 0
+        np.cumsum(counts, out=self.offsets[1:])
 
     # ------------------------------------------------------------------
     # lookups
     # ------------------------------------------------------------------
-    def _groups_per_bound(self) -> int:
-        groups = 1
-        for domain in self.level_domains:
-            groups *= domain
-        return groups
-
     def group_range(
         self, bound_id: int, codes: Sequence[int] = ()
     ) -> Tuple[int, int]:
@@ -139,15 +165,114 @@ class NestedCSR:
         """Entry range of all entries bound to ``bound_id`` (level-0 list)."""
         return self.group_range(bound_id, ())
 
+    def _prefix_groups(
+        self, bound_ids: np.ndarray, codes: Sequence[int] = ()
+    ) -> Tuple[np.ndarray, int]:
+        """Vectorized form of the group computation in :meth:`group_range`.
+
+        Returns the (partial) group ID of every bound ID under the shared
+        partition-code prefix, and the number of most-granular groups each
+        partial group spans.
+        """
+        bound_ids = np.asarray(bound_ids, dtype=np.int64)
+        if len(codes) > self.num_levels:
+            raise IndexLookupError(
+                f"{len(codes)} partition codes supplied but index has "
+                f"{self.num_levels} levels"
+            )
+        if len(bound_ids) and (
+            int(bound_ids.min()) < 0 or int(bound_ids.max()) >= self.num_bound
+        ):
+            raise IndexLookupError(
+                f"bound ids out of range [0, {self.num_bound})"
+            )
+        group = bound_ids
+        for position, code in enumerate(codes):
+            domain = self.level_domains[position]
+            code = int(code)
+            if code < 0 or code >= domain:
+                raise IndexLookupError(
+                    f"partition code {code} out of range [0, {domain}) at level "
+                    f"{position + 1}"
+                )
+            group = group * domain + code
+        remaining = 1
+        for domain in self.level_domains[len(codes):]:
+            remaining *= domain
+        return group, remaining
+
+    def prefix_ranges(
+        self, bound_ids: np.ndarray, codes: Sequence[int] = ()
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized ``[start, end)`` positions for many bound IDs.
+
+        Generalizes :meth:`bound_starts`/:meth:`bound_ends` to an arbitrary
+        partition-code prefix shared by all rows; the batched counterpart of
+        :meth:`group_range`.
+        """
+        group, remaining = self._prefix_groups(bound_ids, codes)
+        start_groups = group * remaining
+        return (
+            self.offsets[start_groups].astype(np.int64),
+            self.offsets[start_groups + remaining].astype(np.int64),
+        )
+
+    def prefix_starts(
+        self, bound_ids: np.ndarray, codes: Sequence[int] = ()
+    ) -> np.ndarray:
+        """Vectorized start positions for many bound IDs under a code prefix."""
+        return self.prefix_ranges(bound_ids, codes)[0]
+
+    def prefix_ends(
+        self, bound_ids: np.ndarray, codes: Sequence[int] = ()
+    ) -> np.ndarray:
+        """Vectorized end positions for many bound IDs under a code prefix."""
+        return self.prefix_ranges(bound_ids, codes)[1]
+
     def bound_starts(self, bound_ids: np.ndarray) -> np.ndarray:
         """Vectorized start positions of the level-0 lists of many bound IDs."""
-        per_bound = self._groups_per_bound()
-        return self.offsets[np.asarray(bound_ids, dtype=np.int64) * per_bound]
+        return self.offsets[np.asarray(bound_ids, dtype=np.int64) * self._per_bound]
 
     def bound_ends(self, bound_ids: np.ndarray) -> np.ndarray:
         """Vectorized end positions of the level-0 lists of many bound IDs."""
-        per_bound = self._groups_per_bound()
-        return self.offsets[(np.asarray(bound_ids, dtype=np.int64) + 1) * per_bound]
+        return self.offsets[
+            (np.asarray(bound_ids, dtype=np.int64) + 1) * self._per_bound
+        ]
+
+    def gather(
+        self, bound_ids: np.ndarray, codes: Sequence[int] = ()
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`group_range`: one flat gather-index for many lists.
+
+        Computes the ``[start, end)`` range of every bound ID's list under the
+        shared partition-code prefix with pure array indexing, then expands the
+        ranges into a single flat array of entry positions using
+        ``np.repeat``-style segment arithmetic — no Python loop over rows.
+
+        Args:
+            bound_ids: int array of bound vertex/edge IDs (may repeat).
+            codes: effective partition codes for a prefix of the nested
+                levels, shared by all rows.
+
+        Returns:
+            ``(positions, counts)``: ``positions`` is the int64 concatenation
+            of ``arange(start_i, end_i)`` over the rows, suitable for fancy
+            indexing into the payload arrays; ``counts`` is the int64 per-row
+            list length, so ``positions`` splits back into rows at
+            ``cumsum(counts)``.
+        """
+        starts, ends = self.prefix_ranges(bound_ids, codes)
+        counts = ends - starts
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64), counts
+        # positions[k] = starts[row(k)] + (k - out_start[row(k)]) where
+        # out_start is the output-side prefix sum of the counts.
+        out_starts = np.cumsum(counts) - counts
+        return (
+            np.repeat(starts - out_starts, counts) + np.arange(total, dtype=np.int64),
+            counts,
+        )
 
     def list_length(self, bound_id: int, codes: Sequence[int] = ()) -> int:
         start, end = self.group_range(bound_id, codes)
@@ -155,9 +280,9 @@ class NestedCSR:
 
     def nonempty_bounds(self) -> np.ndarray:
         """Return the bound IDs that have at least one entry."""
-        per_bound = self._groups_per_bound()
-        starts = self.offsets[np.arange(self.num_bound) * per_bound]
-        ends = self.offsets[(np.arange(self.num_bound) + 1) * per_bound]
+        start_indices = np.arange(self.num_bound, dtype=np.int64) * self._per_bound
+        starts = self.offsets[start_indices]
+        ends = self.offsets[start_indices + self._per_bound]
         return np.nonzero(ends > starts)[0]
 
     # ------------------------------------------------------------------

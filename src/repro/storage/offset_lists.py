@@ -106,6 +106,35 @@ class OffsetLists:
         positions = primary_list_start + self.offsets[start:end].astype(np.int64)
         return primary_edge_ids[positions], primary_nbr_ids[positions]
 
+    def resolve_many(
+        self,
+        positions: np.ndarray,
+        primary_list_starts: np.ndarray,
+        counts: np.ndarray,
+        primary_edge_ids: np.ndarray,
+        primary_nbr_ids: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`resolve`: dereference many group ranges at once.
+
+        Args:
+            positions: flat gather-index into this offset-list index, as
+                produced by :meth:`~repro.storage.csr.NestedCSR.gather`.
+            primary_list_starts: per-row start position of each bound
+                element's ID list in the primary index.
+            counts: per-row entry counts aligning ``positions`` with
+                ``primary_list_starts`` (``len(positions) == counts.sum()``).
+            primary_edge_ids / primary_nbr_ids: the primary index's ID lists.
+
+        Returns:
+            ``(edge_ids, nbr_ids)`` for all rows concatenated, equal to
+            concatenating :meth:`resolve` over the rows.
+        """
+        flat_starts = np.repeat(
+            np.asarray(primary_list_starts, dtype=np.int64), counts
+        )
+        flat = flat_starts + self.offsets[positions].astype(np.int64)
+        return primary_edge_ids[flat], primary_nbr_ids[flat]
+
     def nbytes(self) -> int:
         """Bytes charged for the offsets under the paged fixed-width layout."""
         return self._nbytes

@@ -23,6 +23,13 @@ from repro.graph.generators import (
 from repro.query.naive import NaiveMatcher
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf: opt-in perf-regression benchmarks (set RUN_PERF_BENCH=1 to run)",
+    )
+
+
 @pytest.fixture(scope="session")
 def example_graph():
     """The paper's running example graph (Figure 1)."""

@@ -1,0 +1,38 @@
+"""Opt-in perf-regression gate (the ``perf`` pytest marker).
+
+Skipped by default so the tier-1 suite stays fast; enable with::
+
+    RUN_PERF_BENCH=1 PYTHONPATH=src python -m pytest -m perf tests/test_perf_regression.py
+
+Runs ``benchmarks/check_regression.py``: the EXTEND throughput benchmark is
+executed and the vectorized-vs-rowwise speedups are compared against the
+checked-in ``benchmarks/baseline_extend_throughput.json`` floors.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+pytestmark = [
+    pytest.mark.perf,
+    pytest.mark.skipif(
+        os.environ.get("RUN_PERF_BENCH") != "1",
+        reason="perf benchmark is opt-in; set RUN_PERF_BENCH=1 to run",
+    ),
+]
+
+_BENCHMARKS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "benchmarks"
+)
+
+
+def test_extend_throughput_regression(tmp_path):
+    if _BENCHMARKS_DIR not in sys.path:
+        sys.path.insert(0, _BENCHMARKS_DIR)
+    from check_regression import run_check
+
+    report = run_check(output_path=str(tmp_path / "BENCH_extend_throughput.json"))
+    assert report["ok"], "; ".join(report["failures"])
