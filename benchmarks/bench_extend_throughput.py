@@ -7,6 +7,8 @@ shapes the executor runs hottest:
 * ``extend_2leg``    — two-leg EXTEND/INTERSECT (WCOJ building block),
 * ``extend_sorted``  — single-leg EXTEND through a property-sorted list with
   a binary-search range filter (the MagicRecs access pattern),
+* ``multi_extend``   — two-leg MULTI-EXTEND joining city-sorted lists on the
+  neighbour's city property (the property-intersection pattern of Figure 6),
 
 each executed once with the legacy tuple-at-a-time operator path
 (``vectorized=False``, the seed behaviour) and once with the vectorized
@@ -38,8 +40,10 @@ from common import BENCH_SCALE, print_header  # noqa: E402
 
 from repro.graph import Direction  # noqa: E402
 from repro.graph.generators import (  # noqa: E402
+    FinancialGraphSpec,
     LabelledGraphSpec,
     SocialGraphSpec,
+    generate_financial_graph,
     generate_labelled_graph,
     generate_social_graph,
 )
@@ -51,6 +55,7 @@ from repro.query.executor import Executor  # noqa: E402
 from repro.query.operators import (  # noqa: E402
     ExtendIntersect,
     ExtensionLeg,
+    MultiExtend,
     ScanVertices,
     SortedRangeFilter,
 )
@@ -67,6 +72,8 @@ TWO_LEG_SCAN_LIMIT = max(int(NUM_VERTICES * 0.1), 1)
 #: Sorted-filter threshold tuned to ~5% selectivity (the MagicRecs setting).
 TIME_RANGE = 1_000_000
 TIME_THRESHOLD = int(TIME_RANGE * 0.05)
+#: City domain for the MULTI-EXTEND scenario (controls join selectivity).
+NUM_CITIES = 40
 
 REPETITIONS = int(os.environ.get("BENCH_REPETITIONS", "2"))
 
@@ -120,6 +127,24 @@ def _build_social():
     )
     store = IndexStore(graph, PrimaryIndex(graph, config=config))
     return graph, store, time_key
+
+
+def _build_financial():
+    graph = generate_financial_graph(
+        FinancialGraphSpec(
+            num_vertices=NUM_VERTICES,
+            num_edges=NUM_EDGES,
+            num_cities=NUM_CITIES,
+            skew=0.6,
+            seed=11,
+        )
+    )
+    city_key = SortKey.nbr_property("city")
+    config = IndexConfig(
+        partition_keys=(), sort_keys=(city_key, SortKey.neighbour_id())
+    )
+    store = IndexStore(graph, PrimaryIndex(graph, config=config))
+    return graph, store, city_key
 
 
 def _plan_extend_1leg(graph, store, vectorized):
@@ -201,6 +226,37 @@ def _plan_extend_sorted(graph, store, time_key, vectorized):
     )
 
 
+def _plan_multi_extend(graph, store, city_key, vectorized):
+    query = QueryGraph("multi_extend")
+    for name in ("a", "c", "b1", "b2"):
+        query.add_vertex(name)
+    query.add_edge("a", "c", name="ec")
+    query.add_edge("a", "b1", name="e0")
+    query.add_edge("c", "b2", name="e1")
+    return QueryPlan(
+        query=query,
+        operators=[
+            ScanVertices(
+                var="a",
+                predicate=Predicate.of(cmp(prop("a", "ID"), "<", TWO_LEG_SCAN_LIMIT)),
+            ),
+            ExtendIntersect(
+                target_var="c",
+                legs=[_leg(store, Direction.FORWARD, "a", "c", "ec")],
+                vectorized=vectorized,
+            ),
+            MultiExtend(
+                legs=[
+                    _leg(store, Direction.FORWARD, "a", "b1", "e0"),
+                    _leg(store, Direction.FORWARD, "c", "b2", "e1"),
+                ],
+                equality_key=city_key,
+                vectorized=vectorized,
+            ),
+        ],
+    )
+
+
 def _time_plan(graph, plan_factory: Callable[[bool], QueryPlan], vectorized: bool):
     """Best-of-N execution; returns (seconds, extended_edges)."""
     best = float("inf")
@@ -222,6 +278,7 @@ def run_benchmarks() -> Dict:
     """Run every scenario with both operator paths; return the report dict."""
     labelled_graph, labelled_store = _build_labelled()
     social_graph, social_store, time_key = _build_social()
+    financial_graph, financial_store, city_key = _build_financial()
 
     scenarios = {
         "extend_1leg": (
@@ -242,6 +299,12 @@ def run_benchmarks() -> Dict:
                 social_graph, social_store, time_key, vectorized
             ),
         ),
+        "multi_extend": (
+            financial_graph,
+            lambda vectorized: _plan_multi_extend(
+                financial_graph, financial_store, city_key, vectorized
+            ),
+        ),
     }
 
     report: Dict = {
@@ -252,6 +315,7 @@ def run_benchmarks() -> Dict:
             "repetitions": REPETITIONS,
             "two_leg_scan_limit": TWO_LEG_SCAN_LIMIT,
             "time_threshold": TIME_THRESHOLD,
+            "num_cities": NUM_CITIES,
         },
         "scenarios": {},
     }

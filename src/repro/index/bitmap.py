@@ -121,6 +121,16 @@ class BitmapSecondaryIndex:
             new_counts,
         )
 
+    def segments_sorted_by(self, key, key_values: Sequence = ()) -> bool:
+        """True when every list returned under this key-value prefix is
+        internally sorted on ``key``.
+
+        A bitmap index necessarily inherits the primary's partitioning and
+        sort order (it only masks entries out, which preserves sortedness),
+        so the question is delegated to the primary index.
+        """
+        return self.primary.segments_sorted_by(key, key_values)
+
     def access_cost(self, vertex_id: int, key_values: Sequence = ()) -> int:
         """Number of bit tests needed to read one list.
 

@@ -116,6 +116,20 @@ class IndexConfig:
     def same_partitioning_as(self, other: "IndexConfig") -> bool:
         return self.partition_keys == other.partition_keys
 
+    def granular_segments_sorted_by(self, key: SortKey, key_values: Sequence) -> bool:
+        """True when every list addressed by this key-value prefix is
+        internally sorted on ``key``.
+
+        The batched index contract behind ``segments_sorted_by`` on the index
+        classes: only a prefix addressing the most granular groups is
+        actually ordered by the sort keys — a coarser prefix unions several
+        granular groups, each sorted individually.  The segment intersection
+        kernel uses this to skip re-sorting ``list_many`` output.
+        """
+        if len(key_values) != len(self.partition_keys):
+            return False
+        return bool(self.sort_keys) and self.sort_keys[0] == key
+
     def describe(self) -> str:
         partition = ", ".join(k.describe() for k in self.partition_keys) or "(none)"
         sort = ", ".join(k.describe() for k in self.sort_keys)

@@ -98,12 +98,20 @@ class AccessPath:
 
     @property
     def sorted_by_neighbour_id(self) -> bool:
-        if not self.covers_all_levels:
-            return False
-        return self.sort_keys[0].is_neighbour_id if self.sort_keys else False
+        return self.sorted_by(SortKey.neighbour_id())
 
     def sorted_by(self, key: SortKey) -> bool:
-        """True if the addressed sub-list is sorted by ``key`` (major key)."""
+        """True if the addressed sub-list is sorted by ``key`` (major key).
+
+        Delegated to the index's ``segments_sorted_by`` flag (the batched
+        index contract: the same guarantee covers every segment returned by
+        ``list_many``, which is what lets the segment intersection kernel
+        skip re-sorting); falls back to the path's own metadata for index
+        objects that do not expose the flag.
+        """
+        probe = getattr(self.index, "segments_sorted_by", None)
+        if probe is not None:
+            return bool(probe(key, self.key_values))
         if not self.covers_all_levels:
             return False
         return bool(self.sort_keys) and self.sort_keys[0] == key

@@ -25,7 +25,7 @@ from ..graph.types import Direction, EDGE_ID_DTYPE
 from ..storage.csr import NestedCSR
 from ..storage.id_lists import IdLists
 from ..storage.memory import MemoryBreakdown
-from ..storage.sort_keys import sort_values_matrix
+from ..storage.sort_keys import SortKey, sort_values_matrix
 from .config import IndexConfig
 
 
@@ -132,6 +132,13 @@ class AdjacencyIndex:
             self.id_lists.nbr_ids[positions],
             counts,
         )
+
+    def segments_sorted_by(self, key: "SortKey", key_values: Sequence = ()) -> bool:
+        """True when every list returned under this key-value prefix is
+        internally sorted on ``key`` (batched index contract; lets the
+        segment intersection kernel skip re-sorting ``list_many`` output).
+        """
+        return self.config.granular_segments_sorted_by(key, key_values)
 
     def vertex_list_start(self, vertex_id: int) -> int:
         """Start position of the vertex's full (level-0) ID list."""

@@ -25,7 +25,7 @@ from ..graph.types import Direction, EDGE_ID_DTYPE
 from ..storage.csr import NestedCSR
 from ..storage.memory import MemoryBreakdown
 from ..storage.offset_lists import OffsetLists
-from ..storage.sort_keys import sort_values_matrix
+from ..storage.sort_keys import SortKey, sort_values_matrix
 from .config import IndexConfig
 from .primary import AdjacencyIndex
 from .views import OneHopView
@@ -181,6 +181,13 @@ class VertexPartitionedIndex:
             self.primary.id_lists.nbr_ids,
         )
         return edge_ids, nbr_ids, counts
+
+    def segments_sorted_by(self, key: SortKey, key_values: Sequence = ()) -> bool:
+        """True when every list returned under this key-value prefix is
+        internally sorted on ``key`` (batched index contract; lets the
+        segment intersection kernel skip re-sorting ``list_many`` output).
+        """
+        return self.config.granular_segments_sorted_by(key, key_values)
 
     def degree(self, vertex_id: int, key_values: Sequence = ()) -> int:
         start, end = self.list_range(vertex_id, key_values)

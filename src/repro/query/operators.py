@@ -37,10 +37,14 @@ partial match at a time.  The extension operators therefore default to a
 * the single-leg :class:`ExtendIntersect` (the dominant plan shape) never
   enters a per-row loop: the extended batch is emitted with one ``repeat`` and
   one ``with_columns``;
-* multi-leg E/I and :class:`MultiExtend` keep the per-row intersection but
-  fetch all legs through the batched API and expand edge combinations with
-  vectorized ``np.repeat`` segment arithmetic instead of Python-int
-  accumulation.
+* multi-leg E/I and :class:`MultiExtend` hand the whole batch's concatenated
+  segments to the segment-wise intersection kernel
+  (:func:`~repro.storage.intersect.intersect_segments`), which joins all legs
+  on composite (row, key) keys in a handful of numpy ops — sort-merge,
+  galloping binary search, or a hash-table probe, chosen adaptively — and
+  returns per-combination entry positions through which the edge columns stay
+  aligned with the intersected neighbours.  No per-row Python loop remains on
+  any vectorized path.
 
 ``vectorized=False`` on the extension operators selects the legacy
 tuple-at-a-time path; it is kept as the equivalence oracle and as the
@@ -59,6 +63,11 @@ from ..errors import ExecutionError
 from ..graph.graph import PropertyGraph
 from ..index.index_store import AccessPath
 from ..storage.csr import segment_mask_counts
+from ..storage.intersect import (
+    combo_positions,
+    dedup_sorted,
+    intersect_segments,
+)
 from ..storage.sort_keys import SortKey
 from .binding import DEFAULT_BATCH_SIZE, MatchBatch
 from .pattern import QueryGraph
@@ -94,46 +103,6 @@ class ExecutionContext:
 
     def variable_kind(self, name: str) -> str:
         return self.query.variable_kind(name)
-
-
-# ----------------------------------------------------------------------
-# segment helpers
-# ----------------------------------------------------------------------
-def _combo_positions(
-    lefts: Sequence[np.ndarray],
-    sizes_per_leg: Sequence[np.ndarray],
-    multiplicity: np.ndarray,
-) -> Tuple[List[np.ndarray], int]:
-    """Vectorized cross-product expansion over many groups at once.
-
-    For group ``g`` (e.g. one common neighbour or one common key value), leg
-    ``l`` contributes a slice of ``sizes_per_leg[l][g]`` entries starting at
-    ``lefts[l][g]``; the group produces ``multiplicity[g]`` combinations (the
-    product of the per-leg sizes).  Returns, per leg, the int64 positions into
-    that leg's entry arrays selecting its member of every combination, groups
-    concatenated in order.  Combination order inside a group iterates the last
-    leg fastest, matching the historical tuple-at-a-time enumeration.
-    """
-    total = int(multiplicity.sum())
-    if total == 0:
-        return [np.empty(0, dtype=np.int64) for _ in lefts], 0
-    out_starts = np.cumsum(multiplicity) - multiplicity
-    within = np.arange(total, dtype=np.int64) - np.repeat(out_starts, multiplicity)
-    # suffix[l][g] = product of later legs' sizes: the stride of leg l's
-    # choice inside group g's combination enumeration.
-    suffixes: List[np.ndarray] = []
-    acc = np.ones(len(multiplicity), dtype=np.int64)
-    for sizes in reversed(list(sizes_per_leg)):
-        suffixes.append(acc)
-        acc = acc * sizes
-    suffixes.reverse()
-    positions = []
-    for left, sizes, suffix in zip(lefts, sizes_per_leg, suffixes):
-        choice = (within // np.repeat(suffix, multiplicity)) % np.repeat(
-            sizes, multiplicity
-        )
-        positions.append(np.repeat(left, multiplicity) + choice)
-    return positions, total
 
 
 # ----------------------------------------------------------------------
@@ -344,14 +313,18 @@ def _intersect_leg_results(
     Returns the extended neighbour IDs (with multiplicity from parallel edges)
     and, for legs that track their edge, the aligned edge-ID columns.  Edge
     combinations of parallel edges are expanded with vectorized segment
-    arithmetic (:func:`_combo_positions`) rather than per-neighbour Python
-    loops.
+    arithmetic (:func:`~repro.storage.intersect.combo_positions`) rather than
+    per-neighbour Python loops.
     """
-    common = np.unique(results[0][1])
+    # Every leg's list is sorted on neighbour ID by the caller, so distinct
+    # values come from a linear dedup and ``intersect1d`` may skip its
+    # per-input sort (``assume_unique`` requires sorted *and* unique inputs —
+    # parallel edges make the raw lists non-unique).
+    common = dedup_sorted(results[0][1])
     for _, nbr_ids in results[1:]:
         if len(common) == 0:
             break
-        common = np.intersect1d(common, nbr_ids)
+        common = np.intersect1d(common, dedup_sorted(nbr_ids), assume_unique=True)
     empty = np.empty(0, dtype=np.int64)
     if len(common) == 0:
         return empty, {leg.edge_var: empty.copy() for leg in legs if leg.track_edge}
@@ -370,12 +343,60 @@ def _intersect_leg_results(
     if not any(leg.track_edge for leg in legs):
         return out_nbrs, {}
 
-    positions, _ = _combo_positions(lefts, sizes_per_leg, multiplicity)
+    positions, _ = combo_positions(lefts, sizes_per_leg, multiplicity)
     out_edges: Dict[str, np.ndarray] = {}
     for leg, (edge_ids, _), pos in zip(legs, results, positions):
         if leg.track_edge:
             out_edges[leg.edge_var] = np.asarray(edge_ids, dtype=np.int64)[pos]
     return out_nbrs, out_edges
+
+
+def _unique_sorted_keys(values: np.ndarray) -> np.ndarray:
+    """``np.unique`` of an already-sorted key array, without re-sorting.
+
+    Linear dedup, plus collapsing a float NaN tail to a single candidate:
+    ``dedup_sorted`` alone keeps every NaN (NaN != NaN), but each NaN
+    candidate's ``searchsorted`` run bounds would span the *whole* NaN run,
+    duplicating combinations — collapsing matches ``np.unique`` and keeps the
+    oracle aligned with the kernel's one-code-per-NaN grouping.  Production
+    plans never produce NaN keys (:meth:`SortKey.values` rewrites NaN to
+    ``inf``); this exists so the oracle and the public kernel API agree on
+    raw float input.
+    """
+    out = dedup_sorted(values)
+    if out.dtype.kind == "f" and len(out) > 1:
+        nan_count = int(np.isnan(out).sum())
+        if nan_count > 1:
+            out = out[: len(out) - nan_count + 1]
+    return out
+
+
+def _reconcile_combo_targets(
+    legs: Sequence[ExtensionLeg],
+    entries: Sequence[Tuple[np.ndarray, np.ndarray]],
+    positions: Sequence[np.ndarray],
+    total: int,
+) -> Tuple[np.ndarray, Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+    """Materialize per-combination target/edge columns and the keep mask.
+
+    ``entries`` supplies per leg the ``(edge_ids, nbr_ids)`` arrays that
+    ``positions`` index into (one position per combination).  Legs sharing a
+    target vertex must agree on the chosen neighbour; disagreeing
+    combinations are masked out.  Shared by the batch kernel path and the
+    per-row oracle of MULTI-EXTEND so their semantics cannot drift apart.
+    """
+    keep = np.ones(total, dtype=bool)
+    combo_targets: Dict[str, np.ndarray] = {}
+    combo_edges: Dict[str, np.ndarray] = {}
+    for leg, (edge_ids, nbr_ids), pos in zip(legs, entries, positions):
+        chosen_nbrs = np.asarray(nbr_ids, dtype=np.int64)[pos]
+        if leg.target_var in combo_targets:
+            keep &= combo_targets[leg.target_var] == chosen_nbrs
+        else:
+            combo_targets[leg.target_var] = chosen_nbrs
+        if leg.track_edge:
+            combo_edges[leg.edge_var] = np.asarray(edge_ids, dtype=np.int64)[pos]
+    return keep, combo_targets, combo_edges
 
 
 # ----------------------------------------------------------------------
@@ -388,9 +409,20 @@ class PhysicalOperator:
         return type(self).__name__
 
 
+#: Minimum vertex-domain chunk scanned at once (label test + predicate are
+#: evaluated per chunk, so peak memory is O(chunk), not O(num_vertices)).
+_SCAN_CHUNK_MIN = 4096
+
+
 @dataclass
 class ScanVertices(PhysicalOperator):
     """Produce the initial matches of one query vertex.
+
+    The label restriction and the predicate are pushed down into the chunked
+    scan: the vertex-ID domain is walked in fixed-size chunks, each chunk is
+    label-tested and predicate-filtered vectorized, and survivors are packed
+    into full ``batch_size`` batches — the full candidate set is never
+    materialized at once.
 
     Attributes:
         var: the query vertex variable to bind.
@@ -403,22 +435,47 @@ class ScanVertices(PhysicalOperator):
     label: Optional[str] = None
     predicate: Predicate = field(default_factory=Predicate.true)
 
+    def _candidate_chunks(
+        self, graph: PropertyGraph, chunk_size: int
+    ) -> Iterator[np.ndarray]:
+        """Yield label-filtered candidate IDs one vertex-domain chunk at a time."""
+        if self.label is not None:
+            code = graph.schema.vertex_label_code(self.label)
+            labels = graph.vertex_labels
+            for start in range(0, graph.num_vertices, chunk_size):
+                window = labels[start : start + chunk_size]
+                yield np.nonzero(window == code)[0].astype(np.int64) + start
+        else:
+            for start in range(0, graph.num_vertices, chunk_size):
+                end = min(start + chunk_size, graph.num_vertices)
+                yield np.arange(start, end, dtype=np.int64)
+
     def execute(self, context: ExecutionContext) -> Iterator[MatchBatch]:
         graph = context.graph
-        if self.label is not None:
-            candidates = graph.vertices_with_label(self.label)
-        else:
-            candidates = graph.all_vertices()
-        candidates = np.asarray(candidates, dtype=np.int64)
-        if not self.predicate.is_true and len(candidates):
-            arrays = {self.var: ("vertex", candidates)}
-            context.stats.predicate_evaluations += len(candidates)
-            mask = self.predicate.evaluate_bulk(graph, {}, arrays)
-            candidates = candidates[mask]
-        context.stats.intermediate_rows += len(candidates)
-        batch = MatchBatch.single_column(self.var, candidates)
-        for chunk in batch.split(context.batch_size):
-            yield chunk
+        batch_size = context.batch_size
+        chunk_size = max(batch_size, _SCAN_CHUNK_MIN)
+        pending: List[np.ndarray] = []
+        pending_rows = 0
+        for candidates in self._candidate_chunks(graph, chunk_size):
+            if not self.predicate.is_true and len(candidates):
+                arrays = {self.var: ("vertex", candidates)}
+                context.stats.predicate_evaluations += len(candidates)
+                mask = self.predicate.evaluate_bulk(graph, {}, arrays)
+                candidates = candidates[mask]
+            if len(candidates) == 0:
+                continue
+            context.stats.intermediate_rows += len(candidates)
+            pending.append(candidates)
+            pending_rows += len(candidates)
+            while pending_rows >= batch_size:
+                buffered = pending[0] if len(pending) == 1 else np.concatenate(pending)
+                yield MatchBatch.single_column(self.var, buffered[:batch_size])
+                rest = buffered[batch_size:]
+                pending = [rest] if len(rest) else []
+                pending_rows = len(rest)
+        if pending_rows:
+            buffered = pending[0] if len(pending) == 1 else np.concatenate(pending)
+            yield MatchBatch.single_column(self.var, buffered)
 
     def describe(self) -> str:
         label = f":{self.label}" if self.label else ""
@@ -444,8 +501,9 @@ class ExtendIntersect(PhysicalOperator):
         vectorized: select the batch-at-a-time gather path (default).  The
             single-leg fast path extends a whole batch with no per-row Python
             loop; the multi-leg path prefetches every leg through ``list_many``
-            and intersects per row.  ``False`` selects the legacy
-            tuple-at-a-time path (benchmark baseline / equivalence oracle).
+            and intersects the whole batch in one segment-kernel call.
+            ``False`` selects the legacy tuple-at-a-time path (benchmark
+            baseline / equivalence oracle).
     """
 
     target_var: str
@@ -498,41 +556,35 @@ class ExtendIntersect(PhysicalOperator):
     def _extend_batch_multi(
         self, batch: MatchBatch, context: ExecutionContext
     ) -> Optional[MatchBatch]:
-        """Multi-leg path: batched fetch per leg, per-row intersection."""
-        tracked_vars = [leg.edge_var for leg in self.legs if leg.track_edge]
-        per_leg = []
-        for leg in self.legs:
-            edge_ids, nbr_ids, counts = leg.fetch_many(context, batch)
-            ends = np.cumsum(counts)
-            per_leg.append((edge_ids, nbr_ids, ends - counts, ends))
+        """Multi-leg path: batched fetch per leg, one kernel call per batch.
 
-        counts_out = np.zeros(len(batch), dtype=np.int64)
-        nbr_chunks: List[np.ndarray] = []
-        edge_chunks: Dict[str, List[np.ndarray]] = {v: [] for v in tracked_vars}
-        for row in range(len(batch)):
-            results = []
-            for leg, (edge_ids, nbr_ids, starts, ends) in zip(self.legs, per_leg):
-                row_edges = edge_ids[starts[row] : ends[row]]
-                row_nbrs = nbr_ids[starts[row] : ends[row]]
-                if not leg.presorted_by_nbr and len(row_nbrs) > 1:
-                    order = np.argsort(row_nbrs, kind="stable")
-                    row_edges = row_edges[order]
-                    row_nbrs = row_nbrs[order]
-                results.append((row_edges, row_nbrs))
-            row_nbrs, row_edge_cols = _intersect_leg_results(self.legs, results)
-            counts_out[row] = len(row_nbrs)
-            nbr_chunks.append(row_nbrs)
-            for name in tracked_vars:
-                edge_chunks[name].append(
-                    row_edge_cols.get(name, np.empty(0, dtype=np.int64))
-                )
-
-        if int(counts_out.sum()) == 0:
+        All legs' concatenated ``list_many`` segments are intersected on
+        composite (row, neighbour) keys by
+        :func:`~repro.storage.intersect.intersect_segments`; per-combination
+        positions returned by the kernel keep the tracked edge columns
+        aligned with the intersected neighbours.
+        """
+        any_tracked = any(leg.track_edge for leg in self.legs)
+        per_leg = [leg.fetch_many(context, batch) for leg in self.legs]
+        result = intersect_segments(
+            [nbr_ids for _, nbr_ids, _ in per_leg],
+            [counts for _, _, counts in per_leg],
+            num_rows=len(batch),
+            presorted=[leg.presorted_by_nbr for leg in self.legs],
+            need_positions=any_tracked,
+        )
+        if result.total == 0:
             return None
-        new_columns = {self.target_var: np.concatenate(nbr_chunks)}
-        for name in tracked_vars:
-            new_columns[name] = np.concatenate(edge_chunks[name])
-        return batch.repeat(counts_out).with_columns(new_columns)
+        new_columns = {self.target_var: result.expanded_keys()}
+        if any_tracked:
+            for leg, (edge_ids, _, _), pos in zip(
+                self.legs, per_leg, result.positions
+            ):
+                if leg.track_edge:
+                    new_columns[leg.edge_var] = np.asarray(
+                        edge_ids, dtype=np.int64
+                    )[pos]
+        return batch.repeat(result.counts_out).with_columns(new_columns)
 
     # -- legacy tuple-at-a-time path ------------------------------------
     def _extend_rowwise(
@@ -608,8 +660,9 @@ class MultiExtend(PhysicalOperator):
         equality_key: the :class:`SortKey` the legs are sorted and joined on.
         post_predicate: residual predicate over the extended batch.
         vectorized: fetch all legs through the batched ``list_many`` API and
-            expand key-equal combinations with vectorized segment arithmetic
-            (default); ``False`` selects the legacy per-row fetch path.
+            join the whole batch on composite (row, key) keys in one
+            segment-kernel call (default); ``False`` selects the legacy
+            per-row fetch path.
     """
 
     legs: List[ExtensionLeg]
@@ -655,47 +708,55 @@ class MultiExtend(PhysicalOperator):
     def _extend_batchwise(
         self, batch: MatchBatch, context: ExecutionContext
     ) -> Optional[MatchBatch]:
-        """Fetch every leg for the whole batch, then join per row."""
+        """Fetch every leg for the whole batch, then join it in one kernel call.
+
+        The equality-key values of all legs (floats and null markers
+        included, via the kernel's rank encoding) are joined on composite
+        (row, key) keys; legs sharing a target vertex are reconciled with one
+        boolean mask over the expanded combinations.
+        """
         graph = context.graph
-        tracked_vars = [leg.edge_var for leg in self.legs if leg.track_edge]
-        target_vars = self.target_vars
         per_leg = []
+        leg_keys = []
+        leg_counts = []
+        presorted = []
         for leg in self.legs:
             edge_ids, nbr_ids, counts = leg.fetch_many(context, batch)
-            keys = self.equality_key.values(graph, edge_ids, nbr_ids)
-            ends = np.cumsum(counts)
-            presorted = leg.access_path.sorted_by(self.equality_key)
-            per_leg.append((edge_ids, nbr_ids, keys, ends - counts, ends, presorted))
+            per_leg.append((edge_ids, nbr_ids))
+            leg_keys.append(self.equality_key.values(graph, edge_ids, nbr_ids))
+            leg_counts.append(counts)
+            presorted.append(leg.access_path.sorted_by(self.equality_key))
 
-        counts_out = np.zeros(len(batch), dtype=np.int64)
-        target_chunks: Dict[str, List[np.ndarray]] = {v: [] for v in target_vars}
-        edge_chunks: Dict[str, List[np.ndarray]] = {v: [] for v in tracked_vars}
-        for row in range(len(batch)):
-            leg_entries = []
-            for edge_ids, nbr_ids, keys, starts, ends, presorted in per_leg:
-                row_edges = edge_ids[starts[row] : ends[row]]
-                row_nbrs = nbr_ids[starts[row] : ends[row]]
-                row_keys = keys[starts[row] : ends[row]]
-                if len(row_keys) > 1 and not presorted:
-                    order = np.argsort(row_keys, kind="stable")
-                    row_edges = row_edges[order]
-                    row_nbrs = row_nbrs[order]
-                    row_keys = row_keys[order]
-                leg_entries.append((row_edges, row_nbrs, row_keys))
-            row_targets, row_edge_cols, produced = self._join_entries(leg_entries)
-            counts_out[row] = produced
-            for name in target_vars:
-                target_chunks[name].append(row_targets[name])
-            for name in tracked_vars:
-                edge_chunks[name].append(row_edge_cols[name])
-
-        if int(counts_out.sum()) == 0:
+        result = intersect_segments(
+            leg_keys,
+            leg_counts,
+            num_rows=len(batch),
+            presorted=presorted,
+            need_positions=True,
+        )
+        if result.total == 0:
             return None
-        new_columns: Dict[str, np.ndarray] = {
-            name: np.concatenate(target_chunks[name]) for name in target_vars
-        }
-        for name in tracked_vars:
-            new_columns[name] = np.concatenate(edge_chunks[name])
+
+        keep, combo_targets, combo_edges = _reconcile_combo_targets(
+            self.legs, per_leg, result.positions, result.total
+        )
+        if keep.all():
+            # Common case (no shared-target legs): nothing to filter, reuse
+            # the kernel's per-row counts and the combo columns as-is.
+            counts_out = result.counts_out
+            new_columns: Dict[str, np.ndarray] = dict(combo_targets)
+            new_columns.update(combo_edges)
+        else:
+            counts_out = np.bincount(
+                result.combo_rows()[keep], minlength=len(batch)
+            ).astype(np.int64, copy=False)
+            if int(counts_out.sum()) == 0:
+                return None
+            new_columns = {
+                name: values[keep] for name, values in combo_targets.items()
+            }
+            for name, values in combo_edges.items():
+                new_columns[name] = values[keep]
         return batch.repeat(counts_out).with_columns(new_columns)
 
     # -- legacy tuple-at-a-time path ------------------------------------
@@ -754,8 +815,9 @@ class MultiExtend(PhysicalOperator):
         """Join key-sorted leg entries on the equality key, vectorized.
 
         Combination expansion over equal-key runs uses
-        :func:`_combo_positions`; legs sharing a target vertex are reconciled
-        with one boolean mask instead of per-combination Python ints.
+        :func:`~repro.storage.intersect.combo_positions`; legs sharing a
+        target vertex are reconciled with one boolean mask instead of
+        per-combination Python ints.
         """
         empty = np.empty(0, dtype=np.int64)
         targets: Dict[str, np.ndarray] = {v: empty.copy() for v in self.target_vars}
@@ -763,11 +825,16 @@ class MultiExtend(PhysicalOperator):
             leg.edge_var: empty.copy() for leg in self.legs if leg.track_edge
         }
 
-        common = np.unique(leg_entries[0][2])
+        # Leg entries arrive key-sorted (callers sort unsorted legs), so the
+        # linear dedup keeps them sorted-unique and ``intersect1d`` may skip
+        # its per-input sort.
+        common = _unique_sorted_keys(leg_entries[0][2])
         for _, _, keys in leg_entries[1:]:
             if len(common) == 0:
                 break
-            common = np.intersect1d(common, keys)
+            common = np.intersect1d(
+                common, _unique_sorted_keys(keys), assume_unique=True
+            )
         if len(common) == 0:
             return targets, edges, 0
 
@@ -780,21 +847,16 @@ class MultiExtend(PhysicalOperator):
             lefts.append(left)
             sizes_per_leg.append(right - left)
             multiplicity *= sizes_per_leg[-1]
-        positions, total = _combo_positions(lefts, sizes_per_leg, multiplicity)
+        positions, total = combo_positions(lefts, sizes_per_leg, multiplicity)
         if total == 0:
             return targets, edges, 0
 
-        keep = np.ones(total, dtype=bool)
-        combo_targets: Dict[str, np.ndarray] = {}
-        combo_edges: Dict[str, np.ndarray] = {}
-        for leg, (edge_ids, nbr_ids, _), pos in zip(self.legs, leg_entries, positions):
-            chosen_nbrs = np.asarray(nbr_ids, dtype=np.int64)[pos]
-            if leg.target_var in combo_targets:
-                keep &= combo_targets[leg.target_var] == chosen_nbrs
-            else:
-                combo_targets[leg.target_var] = chosen_nbrs
-            if leg.track_edge:
-                combo_edges[leg.edge_var] = np.asarray(edge_ids, dtype=np.int64)[pos]
+        keep, combo_targets, combo_edges = _reconcile_combo_targets(
+            self.legs,
+            [(edge_ids, nbr_ids) for edge_ids, nbr_ids, _ in leg_entries],
+            positions,
+            total,
+        )
         produced = int(keep.sum())
         for name, values in combo_targets.items():
             targets[name] = values[keep]

@@ -2,6 +2,12 @@
 
 from .csr import NestedCSR
 from .id_lists import IdLists
+from .intersect import (
+    BatchIntersection,
+    combo_positions,
+    dedup_sorted,
+    intersect_segments,
+)
 from .memory import MemoryBreakdown, MemoryReport, format_bytes
 from .offset_lists import OffsetLists, bytes_needed
 from .partition_keys import PartitionKey
@@ -16,6 +22,7 @@ from .search import (
 from .sort_keys import SortKey, sort_values_matrix
 
 __all__ = [
+    "BatchIntersection",
     "IdLists",
     "MemoryBreakdown",
     "MemoryReport",
@@ -24,9 +31,12 @@ __all__ = [
     "PartitionKey",
     "SortKey",
     "bytes_needed",
+    "combo_positions",
+    "dedup_sorted",
     "equal_range",
     "format_bytes",
     "group_by_sorted_key",
+    "intersect_segments",
     "intersect_sorted",
     "prefix_below",
     "range_between",

@@ -509,6 +509,366 @@ class TestMultiExtendEquivalence:
             assert city[target_a] == city[target_c]
 
 
+class TestMultiLegKernelEquivalence:
+    """Randomized vectorized-vs-per-row equivalence for the kernel paths.
+
+    Exercises the batch-wide intersection kernel through 2- and 3-leg
+    ExtendIntersect and MULTI-EXTEND on random graphs with parallel edges,
+    sorted-range filters (unsorted-by-neighbour legs) and rows whose
+    intersection is empty.
+    """
+
+    def _random_graph(self, seed, num_vertices=40, num_edges=240):
+        graph = generate_labelled_graph(
+            LabelledGraphSpec(
+                num_vertices=num_vertices,
+                num_edges=num_edges,
+                num_vertex_labels=2,
+                num_edge_labels=2,
+                skew=0.6,
+                seed=seed,
+            )
+        )
+        # Dense enough that parallel edges are present (they stress the
+        # combination expansion of the kernel).
+        pairs = graph.edge_src.astype(np.int64) * graph.num_vertices + graph.edge_dst
+        assert len(np.unique(pairs)) < graph.num_edges
+        return graph
+
+    @pytest.mark.parametrize("seed", [2, 13, 31])
+    def test_three_leg_intersection(self, seed):
+        graph = self._random_graph(seed)
+        store = IndexStore(graph, PrimaryIndex(graph))
+        limit = 25
+
+        def factory(vectorized):
+            query = QueryGraph("q")
+            for name in ("a", "c", "d", "b"):
+                query.add_vertex(name)
+            query.add_edge("a", "c", name="ec")
+            query.add_edge("a", "d", name="ed")
+            query.add_edge("a", "b", name="e0")
+            query.add_edge("c", "b", name="e1")
+            query.add_edge("d", "b", name="e2")
+            return QueryPlan(
+                query=query,
+                operators=[
+                    ScanVertices(
+                        var="a",
+                        predicate=Predicate.of(cmp(prop("a", "ID"), "<", limit)),
+                    ),
+                    ExtendIntersect(
+                        target_var="c",
+                        legs=[_forward_leg(store, "a", "c", "ec")],
+                        vectorized=vectorized,
+                    ),
+                    ExtendIntersect(
+                        target_var="d",
+                        legs=[_forward_leg(store, "a", "d", "ed")],
+                        vectorized=vectorized,
+                    ),
+                    ExtendIntersect(
+                        target_var="b",
+                        legs=[
+                            _forward_leg(store, "a", "b", "e0", track_edge=True),
+                            _forward_leg(store, "c", "b", "e1", track_edge=True),
+                            _forward_leg(store, "d", "b", "e2", track_edge=True),
+                        ],
+                        vectorized=vectorized,
+                    ),
+                ],
+            )
+
+        rows = _assert_paths_equivalent(graph, factory)
+        for row in rows:
+            assert int(graph.edge_dst[row["e0"]]) == row["b"]
+            assert int(graph.edge_dst[row["e1"]]) == row["b"]
+            assert int(graph.edge_dst[row["e2"]]) == row["b"]
+
+    @pytest.mark.parametrize("seed", [1, 19])
+    def test_two_leg_with_sorted_filter_legs(self, financial_graph, seed):
+        """Legs behind a date-sorted index (not neighbour-sorted) with a
+        sorted-range filter: the kernel must segment-sort both legs."""
+        date_key = SortKey.edge_property("date")
+        config = IndexConfig(
+            partition_keys=(), sort_keys=(date_key, SortKey.neighbour_id())
+        )
+        store = IndexStore(
+            financial_graph, PrimaryIndex(financial_graph, config=config)
+        )
+        rng = np.random.default_rng(seed)
+        threshold = int(rng.integers(300, 1200))
+        sorted_filter = SortedRangeFilter(
+            sort_key=date_key, op=CompareOp.LT, value=threshold
+        )
+
+        def factory(vectorized):
+            query = QueryGraph("q")
+            for name in ("a", "c", "b"):
+                query.add_vertex(name)
+            query.add_edge("a", "c", name="ec")
+            query.add_edge("a", "b", name="e0")
+            query.add_edge("c", "b", name="e1")
+            return QueryPlan(
+                query=query,
+                operators=[
+                    ScanVertices(var="a"),
+                    ExtendIntersect(
+                        target_var="c",
+                        legs=[_forward_leg(store, "a", "c", "ec")],
+                        vectorized=vectorized,
+                    ),
+                    ExtendIntersect(
+                        target_var="b",
+                        legs=[
+                            _forward_leg(
+                                store,
+                                "a",
+                                "b",
+                                "e0",
+                                track_edge=True,
+                                sorted_filter=sorted_filter,
+                            ),
+                            _forward_leg(store, "c", "b", "e1", track_edge=True),
+                        ],
+                        vectorized=vectorized,
+                    ),
+                ],
+            )
+
+        rows = _assert_paths_equivalent(financial_graph, factory)
+        for row in rows:
+            assert int(financial_graph.edge_property(row["e0"], "date")) < threshold
+
+    def test_two_leg_rows_with_empty_intersection(self):
+        """Sparse random graph: most rows intersect to nothing."""
+        graph = self._random_graph(97, num_vertices=60, num_edges=150)
+        store = IndexStore(graph, PrimaryIndex(graph))
+
+        def factory(vectorized):
+            query = QueryGraph("q")
+            for name in ("a", "c", "b"):
+                query.add_vertex(name)
+            query.add_edge("a", "c", name="ec")
+            query.add_edge("a", "b", name="e0")
+            query.add_edge("c", "b", name="e1")
+            return QueryPlan(
+                query=query,
+                operators=[
+                    ScanVertices(var="a"),
+                    ExtendIntersect(
+                        target_var="c",
+                        legs=[_forward_leg(store, "a", "c", "ec")],
+                        vectorized=vectorized,
+                    ),
+                    ExtendIntersect(
+                        target_var="b",
+                        legs=[
+                            _forward_leg(store, "a", "b", "e0", track_edge=True),
+                            _forward_leg(store, "c", "b", "e1", track_edge=True),
+                        ],
+                        vectorized=vectorized,
+                    ),
+                ],
+            )
+
+        _assert_paths_equivalent(graph, factory)
+
+    def test_single_leg_multi_extend(self, financial_graph):
+        """MULTI-EXTEND with one leg (regression: the kernel must accept it)."""
+        city_key = SortKey.nbr_property("city")
+        config = IndexConfig(
+            partition_keys=(), sort_keys=(city_key, SortKey.neighbour_id())
+        )
+        store = IndexStore(
+            financial_graph, PrimaryIndex(financial_graph, config=config)
+        )
+
+        def factory(vectorized):
+            query = QueryGraph("q")
+            query.add_vertex("a")
+            query.add_vertex("b")
+            query.add_edge("a", "b", name="e0")
+            return QueryPlan(
+                query=query,
+                operators=[
+                    ScanVertices(
+                        var="a",
+                        predicate=Predicate.of(cmp(prop("a", "ID"), "<", 30)),
+                    ),
+                    MultiExtend(
+                        legs=[_forward_leg(store, "a", "b", "e0", track_edge=True)],
+                        equality_key=city_key,
+                        vectorized=vectorized,
+                    ),
+                ],
+            )
+
+        rows = _assert_paths_equivalent(financial_graph, factory)
+        assert rows  # the plan extends every out-edge of the scanned vertices
+        for row in rows:
+            assert int(financial_graph.edge_src[row["e0"]]) == row["a"]
+            assert int(financial_graph.edge_dst[row["e0"]]) == row["b"]
+
+    @pytest.mark.parametrize("seed", [7, 23])
+    def test_three_leg_multi_extend(self, financial_graph, seed):
+        """3-leg MULTI-EXTEND city join, mixed shared/distinct targets."""
+        city_key = SortKey.nbr_property("city")
+        config = IndexConfig(
+            partition_keys=(), sort_keys=(city_key, SortKey.neighbour_id())
+        )
+        store = IndexStore(
+            financial_graph, PrimaryIndex(financial_graph, config=config)
+        )
+        rng = np.random.default_rng(seed)
+        limit = int(rng.integers(8, 20))
+
+        def factory(vectorized):
+            query = QueryGraph("q")
+            for name in ("a", "c"):
+                query.add_vertex(name)
+            query.add_edge("a", "c", name="ec")
+            query.add_vertex("b")
+            query.add_vertex("b2")
+            query.add_edge("a", "b", name="e0")
+            query.add_edge("c", "b", name="e1")
+            query.add_edge("c", "b2", name="e2")
+            legs = [
+                _forward_leg(store, "a", "b", "e0", track_edge=True),
+                _forward_leg(store, "c", "b", "e1", track_edge=True),
+                _forward_leg(store, "c", "b2", "e2", track_edge=True),
+            ]
+            return QueryPlan(
+                query=query,
+                operators=[
+                    ScanVertices(
+                        var="a",
+                        predicate=Predicate.of(cmp(prop("a", "ID"), "<", limit)),
+                    ),
+                    ExtendIntersect(
+                        target_var="c",
+                        legs=[_forward_leg(store, "a", "c", "ec")],
+                        vectorized=vectorized,
+                    ),
+                    MultiExtend(
+                        legs=legs,
+                        equality_key=city_key,
+                        vectorized=vectorized,
+                    ),
+                ],
+            )
+
+        rows = _assert_paths_equivalent(financial_graph, factory)
+        city = financial_graph.vertex_props.column("city")
+        for row in rows:
+            assert city[row["b"]] == city[row["b2"]]
+
+
+class TestJoinEntriesNaN:
+    """The per-row oracle and the kernel must agree on NaN equality keys:
+    NaN never joins across legs, and a NaN run expands each entry once."""
+
+    def _op(self):
+        leg = ExtensionLeg(
+            access_path=None,
+            bound_var="a",
+            target_var="b",
+            edge_var="e0",
+            track_edge=True,
+        )
+        return MultiExtend(legs=[leg], equality_key=SortKey.nbr_property("city"))
+
+    def test_single_leg_nan_run_expands_once(self):
+        from repro.storage.intersect import intersect_segments
+
+        edges = np.array([10, 11, 12], dtype=np.int64)
+        nbrs = np.array([100, 101, 102], dtype=np.int64)
+        keys = np.array([1.0, np.nan, np.nan])
+        targets, edge_cols, produced = self._op()._join_entries(
+            [(edges, nbrs, keys)]
+        )
+        assert produced == 3
+        assert targets["b"].tolist() == [100, 101, 102]
+        assert edge_cols["e0"].tolist() == [10, 11, 12]
+        kernel = intersect_segments([keys], [np.array([3])], 1, [True])
+        assert kernel.total == produced
+
+    def test_nan_never_joins_across_legs(self):
+        leg2 = ExtensionLeg(
+            access_path=None,
+            bound_var="c",
+            target_var="b2",
+            edge_var="e1",
+            track_edge=True,
+        )
+        op = MultiExtend(
+            legs=self._op().legs + [leg2],
+            equality_key=SortKey.nbr_property("city"),
+        )
+        entries = [
+            (
+                np.array([10, 11], dtype=np.int64),
+                np.array([100, 101], dtype=np.int64),
+                np.array([1.0, np.nan]),
+            ),
+            (
+                np.array([20, 21], dtype=np.int64),
+                np.array([200, 201], dtype=np.int64),
+                np.array([1.0, np.nan]),
+            ),
+        ]
+        targets, edge_cols, produced = op._join_entries(entries)
+        assert produced == 1  # only the 1.0 keys join; NaN != NaN
+        assert targets["b"].tolist() == [100]
+        assert targets["b2"].tolist() == [200]
+
+
+class TestScanPushdown:
+    """Chunked ScanVertices: label/predicate filtering inside the scan."""
+
+    def test_chunked_scan_matches_full_materialization(
+        self, financial_graph, monkeypatch
+    ):
+        from repro.query import operators as operators_module
+
+        monkeypatch.setattr(operators_module, "_SCAN_CHUNK_MIN", 16)
+        predicate = Predicate.of(cmp(prop("a", "ID"), "<", 70))
+        plan = QueryPlan(
+            query=_two_vertex_query(),
+            operators=[ScanVertices(var="a", predicate=predicate)],
+        )
+        batch_size = 16
+        stats = ExecutionStats()
+        batches = list(
+            Executor(financial_graph, batch_size=batch_size).execute(
+                plan, stats=stats
+            )
+        )
+        scanned = np.concatenate([batch.column("a") for batch in batches])
+        expected = np.arange(70, dtype=np.int64)
+        assert scanned.tolist() == expected.tolist()
+        # Survivors are packed into full batches regardless of chunking.
+        assert all(len(batch) == batch_size for batch in batches[:-1])
+        assert 0 < len(batches[-1]) <= batch_size
+        # Predicate is evaluated once per candidate, exactly as before.
+        assert stats.predicate_evaluations == financial_graph.num_vertices
+        assert stats.intermediate_rows == 70
+
+    def test_chunked_scan_with_label(self, example_graph, monkeypatch):
+        from repro.query import operators as operators_module
+
+        monkeypatch.setattr(operators_module, "_SCAN_CHUNK_MIN", 2)
+        plan = QueryPlan(
+            query=_two_vertex_query(),
+            operators=[ScanVertices(var="a", label="Account")],
+        )
+        batches = list(Executor(example_graph, batch_size=3).execute(plan))
+        scanned = np.concatenate([batch.column("a") for batch in batches])
+        assert scanned.tolist() == example_graph.vertices_with_label(
+            "Account"
+        ).tolist()
+
+
 class TestRandomizedGraphs:
     """Vectorized stack vs per-row stack vs the naive oracle on random graphs."""
 

@@ -1,0 +1,317 @@
+"""Unit tests for the batch-wide segment intersection kernel.
+
+The kernel (:mod:`repro.storage.intersect`) is checked against a brute-force
+per-row reference that enumerates combinations with ``itertools.product`` —
+randomized segments with duplicates (parallel edges), empty rows, unsorted
+legs, float keys, and every membership strategy forced in turn.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.storage.intersect import (
+    GALLOP_RATIO,
+    HASH_TABLE_DENSITY,
+    choose_strategy,
+    combo_positions,
+    dedup_sorted,
+    intersect_segments,
+)
+
+
+# ----------------------------------------------------------------------
+# brute-force reference
+# ----------------------------------------------------------------------
+def reference_combos(leg_keys, leg_counts, num_rows, presorted):
+    """Per-row sorted intersection, combinations enumerated last-leg-fastest.
+
+    Returns a list of ``(row, key, (pos_leg0, pos_leg1, ...))`` tuples with
+    positions into the legs' *original* concatenated arrays, in the exact
+    order the kernel must produce.
+    """
+    offsets = [np.concatenate([[0], np.cumsum(c)]) for c in leg_counts]
+    combos = []
+    for row in range(num_rows):
+        segs = []
+        for keys, offs, pre in zip(leg_keys, offsets, presorted):
+            idx = np.arange(int(offs[row]), int(offs[row + 1]), dtype=np.int64)
+            seg_keys = np.asarray(keys)[idx] if len(idx) else np.asarray(keys)[:0]
+            if not pre and len(idx) > 1:
+                order = np.argsort(seg_keys, kind="stable")
+                idx = idx[order]
+                seg_keys = seg_keys[order]
+            segs.append((seg_keys, idx))
+        if any(len(seg_keys) == 0 for seg_keys, _ in segs):
+            continue
+        common = sorted(set(segs[0][0].tolist()))
+        common = [
+            value
+            for value in common
+            if all(value in seg_keys for seg_keys, _ in segs[1:])
+        ]
+        for value in common:
+            per_leg = [idx[seg_keys == value] for seg_keys, idx in segs]
+            for combo in itertools.product(*per_leg):
+                combos.append((row, value, tuple(int(p) for p in combo)))
+    return combos
+
+
+def random_legs(rng, num_rows, num_legs, key_pool, max_len, sort_legs):
+    leg_keys, leg_counts = [], []
+    for _ in range(num_legs):
+        counts = rng.integers(0, max_len + 1, size=num_rows)
+        keys = rng.choice(key_pool, size=int(counts.sum()), replace=True)
+        if sort_legs:
+            offsets = np.concatenate([[0], np.cumsum(counts)])
+            for row in range(num_rows):
+                keys[offsets[row] : offsets[row + 1]] = np.sort(
+                    keys[offsets[row] : offsets[row + 1]]
+                )
+        leg_keys.append(keys)
+        leg_counts.append(counts.astype(np.int64))
+    return leg_keys, leg_counts
+
+
+def assert_matches_reference(result, leg_keys, leg_counts, num_rows, presorted):
+    expected = reference_combos(leg_keys, leg_counts, num_rows, presorted)
+    assert result.total == len(expected)
+    rows = result.combo_rows()
+    keys = result.expanded_keys()
+    assert rows.tolist() == [row for row, _, _ in expected]
+    assert keys.tolist() == [key for _, key, _ in expected]
+    assert result.positions is not None
+    got_positions = list(zip(*(pos.tolist() for pos in result.positions)))
+    assert got_positions == [combo for _, _, combo in expected]
+    expected_counts = np.bincount(
+        [row for row, _, _ in expected], minlength=num_rows
+    ).tolist()
+    assert result.counts_out.tolist() == expected_counts
+    assert int(result.multiplicity.sum()) == result.total
+
+
+# ----------------------------------------------------------------------
+# randomized equivalence
+# ----------------------------------------------------------------------
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    @pytest.mark.parametrize("num_legs", [2, 3])
+    def test_random_presorted(self, seed, num_legs):
+        rng = np.random.default_rng(seed)
+        num_rows = int(rng.integers(1, 12))
+        leg_keys, leg_counts = random_legs(
+            rng, num_rows, num_legs, np.arange(15, dtype=np.int64), 6, True
+        )
+        presorted = [True] * num_legs
+        result = intersect_segments(leg_keys, leg_counts, num_rows, presorted)
+        assert_matches_reference(result, leg_keys, leg_counts, num_rows, presorted)
+
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_random_unsorted_legs(self, seed):
+        """Unsorted legs are segment-sorted inside the kernel, positions map back."""
+        rng = np.random.default_rng(seed)
+        num_rows = int(rng.integers(1, 10))
+        leg_keys, leg_counts = random_legs(
+            rng, num_rows, 2, np.arange(10, dtype=np.int64), 5, False
+        )
+        presorted = [False, False]
+        result = intersect_segments(leg_keys, leg_counts, num_rows, presorted)
+        assert_matches_reference(result, leg_keys, leg_counts, num_rows, presorted)
+
+    @pytest.mark.parametrize("seed", [8, 9])
+    def test_mixed_sortedness(self, seed):
+        rng = np.random.default_rng(seed)
+        num_rows = 8
+        sorted_keys, sorted_counts = random_legs(
+            rng, num_rows, 1, np.arange(12, dtype=np.int64), 5, True
+        )
+        unsorted_keys, unsorted_counts = random_legs(
+            rng, num_rows, 1, np.arange(12, dtype=np.int64), 5, False
+        )
+        leg_keys = [sorted_keys[0], unsorted_keys[0]]
+        leg_counts = [sorted_counts[0], unsorted_counts[0]]
+        presorted = [True, False]
+        result = intersect_segments(leg_keys, leg_counts, num_rows, presorted)
+        assert_matches_reference(result, leg_keys, leg_counts, num_rows, presorted)
+
+    def test_float_keys_rank_encoded(self):
+        """Float join keys (MULTI-EXTEND equality keys) use the rank path."""
+        leg_keys = [
+            np.array([0.5, 1.25, 1.25, np.inf, 0.5, 2.0]),
+            np.array([1.25, np.inf, 0.5, 3.0]),
+        ]
+        leg_counts = [np.array([4, 2]), np.array([2, 2])]
+        presorted = [True, True]
+        result = intersect_segments(leg_keys, leg_counts, 2, presorted)
+        assert_matches_reference(result, leg_keys, leg_counts, 2, presorted)
+
+    def test_nan_keys_never_join(self):
+        """NaN != NaN: NaN keys must not intersect, even with themselves."""
+        leg_keys = [
+            np.array([1.0, np.nan, np.nan]),
+            np.array([1.0, np.nan]),
+        ]
+        leg_counts = [np.array([3]), np.array([2])]
+        result = intersect_segments(leg_keys, leg_counts, 1, [True, True])
+        assert result.total == 1
+        assert result.expanded_keys().tolist() == [1.0]
+        # Single leg: each NaN forms its own group and decodes back to NaN.
+        single = intersect_segments(
+            [leg_keys[0]], [leg_counts[0]], 1, [True]
+        )
+        assert single.total == 3
+        expanded = single.expanded_keys()
+        assert expanded[0] == 1.0 and np.isnan(expanded[1]) and np.isnan(expanded[2])
+
+    def test_int64_null_markers_rank_encoded(self):
+        """Keys near int64 max (null markers) cannot be packed; rank path."""
+        null = np.iinfo(np.int64).max
+        leg_keys = [
+            np.array([3, 7, null, null], dtype=np.int64),
+            np.array([7, null], dtype=np.int64),
+        ]
+        leg_counts = [np.array([4]), np.array([2])]
+        result = intersect_segments(leg_keys, leg_counts, 1, [True, True])
+        assert_matches_reference(result, leg_keys, leg_counts, 1, [True, True])
+
+    def test_empty_rows_and_empty_result(self):
+        leg_keys = [
+            np.array([1, 2, 5], dtype=np.int64),
+            np.array([3, 4], dtype=np.int64),
+        ]
+        leg_counts = [np.array([0, 3, 0]), np.array([1, 1, 0])]
+        result = intersect_segments(leg_keys, leg_counts, 3, [True, True])
+        assert result.total == 0
+        assert result.counts_out.tolist() == [0, 0, 0]
+        assert all(len(pos) == 0 for pos in result.positions)
+
+    def test_entirely_empty_leg(self):
+        leg_keys = [np.array([1, 2], dtype=np.int64), np.empty(0, dtype=np.int64)]
+        leg_counts = [np.array([2]), np.array([0])]
+        result = intersect_segments(leg_keys, leg_counts, 1, [True, True])
+        assert result.total == 0
+        assert result.counts_out.tolist() == [0]
+
+    def test_need_positions_false(self):
+        leg_keys = [
+            np.array([1, 2, 2], dtype=np.int64),
+            np.array([2, 3], dtype=np.int64),
+        ]
+        leg_counts = [np.array([3]), np.array([2])]
+        result = intersect_segments(
+            leg_keys, leg_counts, 1, [True, True], need_positions=False
+        )
+        assert result.positions is None
+        assert result.total == 2  # parallel entries of key 2 in leg 0
+        assert result.expanded_keys().tolist() == [2, 2]
+
+    @pytest.mark.parametrize("seed", [14, 15])
+    def test_single_leg_groups_by_key(self, seed):
+        """One leg degenerates to key-grouped expansion (single-leg MULTI-EXTEND)."""
+        rng = np.random.default_rng(seed)
+        num_rows = int(rng.integers(1, 8))
+        leg_keys, leg_counts = random_legs(
+            rng, num_rows, 1, np.arange(6, dtype=np.int64), 5, True
+        )
+        result = intersect_segments(leg_keys, leg_counts, num_rows, [True])
+        assert_matches_reference(result, leg_keys, leg_counts, num_rows, [True])
+
+    def test_zero_legs_rejected(self):
+        with pytest.raises(ValueError):
+            intersect_segments([], [], 1, [])
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            intersect_segments(
+                [np.array([1]), np.array([1])],
+                [np.array([1]), np.array([1])],
+                1,
+                [True, True],
+                strategy="bogus",
+            )
+
+
+# ----------------------------------------------------------------------
+# membership strategies
+# ----------------------------------------------------------------------
+class TestStrategies:
+    @pytest.mark.parametrize("strategy", ["merge", "gallop", "hash"])
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_forced_strategies_agree(self, strategy, seed):
+        rng = np.random.default_rng(seed)
+        num_rows = int(rng.integers(2, 10))
+        leg_keys, leg_counts = random_legs(
+            rng, num_rows, 3, np.arange(20, dtype=np.int64), 6, True
+        )
+        presorted = [True, True, True]
+        adaptive = intersect_segments(leg_keys, leg_counts, num_rows, presorted)
+        forced = intersect_segments(
+            leg_keys, leg_counts, num_rows, presorted, strategy=strategy
+        )
+        assert forced.total == adaptive.total
+        assert forced.group_rows.tolist() == adaptive.group_rows.tolist()
+        assert forced.group_keys.tolist() == adaptive.group_keys.tolist()
+        assert forced.multiplicity.tolist() == adaptive.multiplicity.tolist()
+        assert forced.counts_out.tolist() == adaptive.counts_out.tolist()
+        for forced_pos, adaptive_pos in zip(forced.positions, adaptive.positions):
+            assert forced_pos.tolist() == adaptive_pos.tolist()
+
+    def test_forced_hash_respects_span_cap(self):
+        """Forcing hash on an astronomically sparse span must not allocate
+        a span-sized table; it degrades to merge with identical results."""
+        huge = np.int64(1) << 60
+        leg_keys = [
+            np.array([3, huge], dtype=np.int64),
+            np.array([huge], dtype=np.int64),
+        ]
+        leg_counts = [np.array([2]), np.array([1])]
+        result = intersect_segments(
+            leg_keys, leg_counts, 1, [True, True], strategy="hash"
+        )
+        assert result.total == 1
+        assert result.expanded_keys().tolist() == [huge]
+
+    def test_chooser_thresholds(self):
+        # Few candidates vs a long leg: per-candidate binary search.
+        assert choose_strategy(10, 10 * GALLOP_RATIO, 10**9) == "gallop"
+        # Dense key span: table probe.
+        assert choose_strategy(100, 100, HASH_TABLE_DENSITY * 200) == "hash"
+        # Comparable sizes over a sparse span: sort-based merge.
+        assert choose_strategy(100, 100, 10**9) == "merge"
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+class TestHelpers:
+    def test_dedup_sorted(self):
+        assert dedup_sorted(np.array([], dtype=np.int64)).tolist() == []
+        assert dedup_sorted(np.array([4])).tolist() == [4]
+        values = np.array([1, 1, 2, 5, 5, 5, 9])
+        assert dedup_sorted(values).tolist() == [1, 2, 5, 9]
+        rng = np.random.default_rng(3)
+        random_sorted = np.sort(rng.integers(0, 50, size=300))
+        assert dedup_sorted(random_sorted).tolist() == np.unique(random_sorted).tolist()
+
+    def test_combo_positions_order(self):
+        # Two groups: sizes (2, 1) and (1, 2) -> 2 and 2 combinations,
+        # last leg iterating fastest.
+        lefts = [np.array([0, 2]), np.array([0, 1])]
+        sizes = [np.array([2, 1]), np.array([1, 2])]
+        multiplicity = np.array([2, 2])
+        positions, total = combo_positions(lefts, sizes, multiplicity)
+        assert total == 4
+        assert positions[0].tolist() == [0, 1, 2, 2]
+        assert positions[1].tolist() == [0, 0, 1, 2]
+
+    def test_combo_positions_empty(self):
+        positions, total = combo_positions(
+            [np.empty(0, dtype=np.int64)],
+            [np.empty(0, dtype=np.int64)],
+            np.empty(0, dtype=np.int64),
+        )
+        assert total == 0
+        assert positions[0].tolist() == []
