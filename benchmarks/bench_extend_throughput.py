@@ -1,7 +1,6 @@
-"""Extended-edges/sec microbenchmark for the batch-at-a-time EXTEND path.
+"""Extended-edges/sec microbenchmark for the batch-at-a-time hot paths.
 
-Measures the throughput (extended edges per second) of the three extension
-shapes the executor runs hottest:
+Measures the throughput of the extension shapes the executor runs hottest:
 
 * ``extend_1leg``    — single-leg EXTEND over every vertex's forward list,
 * ``extend_2leg``    — two-leg EXTEND/INTERSECT (WCOJ building block),
@@ -12,9 +11,17 @@ shapes the executor runs hottest:
 
 each executed once with the legacy tuple-at-a-time operator path
 (``vectorized=False``, the seed behaviour) and once with the vectorized
-batch-at-a-time gather path (the default).  The generated graph has >= 100k
-edges at the default scale so the single-leg numbers are dominated by the
-steady-state loop, not setup.
+batch-at-a-time gather path (the default), plus the write-path counterpart:
+
+* ``maintenance``    — bulk insert + flush of 25% new edges on a graph with
+  one secondary vertex-partitioned and one edge-partitioned index, executed
+  once with the legacy tuple-at-a-time buffering + rebuild-from-scratch
+  merge (``columnar=False``) and once with the columnar delta buffers +
+  incremental merge (the default); reported as buffered edges/sec, with the
+  merge seconds of both paths recorded alongside.
+
+The generated graphs have >= 100k edges at the default scale so the numbers
+are dominated by the steady-state loop, not setup.
 
 Usage::
 
@@ -34,11 +41,15 @@ import sys
 import time
 from typing import Callable, Dict
 
+import numpy as np
+
 sys.path.insert(0, os.path.dirname(__file__))
 
 from common import BENCH_SCALE, print_header  # noqa: E402
 
+from repro import Database, EdgeAdjacencyType  # noqa: E402
 from repro.graph import Direction  # noqa: E402
+from repro.index.views import OneHopView, TwoHopView  # noqa: E402
 from repro.graph.generators import (  # noqa: E402
     FinancialGraphSpec,
     LabelledGraphSpec,
@@ -74,6 +85,11 @@ TIME_RANGE = 1_000_000
 TIME_THRESHOLD = int(TIME_RANGE * 0.05)
 #: City domain for the MULTI-EXTEND scenario (controls join selectivity).
 NUM_CITIES = 40
+#: Pending edges inserted by the maintenance scenario, as a fraction of the
+#: base graph's edges.
+MAINTENANCE_INSERT_FRACTION = 0.25
+#: Width of the maintenance scenario's edge-partitioned date window (days).
+MAINTENANCE_DATE_WINDOW = 50.0
 
 REPETITIONS = int(os.environ.get("BENCH_REPETITIONS", "2"))
 
@@ -257,6 +273,130 @@ def _plan_multi_extend(graph, store, city_key, vectorized):
     )
 
 
+def _build_maintenance_db() -> Database:
+    """Bench graph + one secondary VP index + one secondary EP index."""
+    graph = generate_financial_graph(
+        FinancialGraphSpec(
+            num_vertices=NUM_VERTICES,
+            num_edges=NUM_EDGES,
+            num_cities=NUM_CITIES,
+            skew=0.6,
+            seed=23,
+        )
+    )
+    db = Database(graph)
+    db.create_vertex_index(
+        OneHopView("BigWire", predicate=Predicate.of(cmp(prop("eadj", "amt"), ">", 500))),
+        directions=(Direction.FORWARD,),
+        config=IndexConfig(
+            partition_keys=(),
+            sort_keys=(SortKey.edge_property("date"), SortKey.neighbour_id()),
+        ),
+        name="BigWire",
+    )
+    db.create_edge_index(
+        TwoHopView(
+            "EPdate",
+            EdgeAdjacencyType.DST_FW,
+            Predicate.of(
+                cmp(prop("eb", "date"), "<", prop("eadj", "date")),
+                cmp(
+                    prop("eadj", "date"),
+                    "<",
+                    prop("eb", "date"),
+                    offset=MAINTENANCE_DATE_WINDOW,
+                ),
+            ),
+        ),
+        config=IndexConfig.flat(),
+        name="EPdate",
+    )
+    return db
+
+
+def _maintenance_delta(num_vertices: int, count: int):
+    rng = np.random.default_rng(91)
+    return (
+        rng.integers(0, num_vertices, size=count),
+        rng.integers(0, num_vertices, size=count),
+        dict(
+            amt=rng.integers(1, 1001, size=count),
+            date=rng.integers(0, 1825, size=count),
+            currency=rng.integers(0, 4, size=count),
+        ),
+    )
+
+
+def _maintenance_checksum(db: Database):
+    forward = db.primary_index.forward
+    return (
+        db.graph.num_edges,
+        int(forward.csr.offsets.sum()),
+        int(forward.id_lists.edge_ids.sum()),
+        tuple(int(ix.offset_lists.offsets.sum()) for ix in db.store.vertex_indexes),
+        tuple(int(ix.offset_lists.offsets.sum()) for ix in db.store.edge_indexes),
+    )
+
+
+def _run_maintenance_once(columnar: bool):
+    """Insert the delta batch + flush; returns (seconds, merge_s, checksum)."""
+    db = _build_maintenance_db()
+    count = int(NUM_EDGES * MAINTENANCE_INSERT_FRACTION)
+    src, dst, props = _maintenance_delta(db.graph.num_vertices, count)
+    maintainer = db.maintainer(
+        merge_threshold=10**12, columnar=columnar, incremental=columnar
+    )
+    started = time.perf_counter()
+    if columnar:
+        maintainer.insert_edges(src, dst, "Wire", properties=props)
+    else:
+        amt, date, currency = props["amt"], props["date"], props["currency"]
+        for i in range(count):
+            maintainer.insert_edge(
+                int(src[i]),
+                int(dst[i]),
+                "Wire",
+                amt=int(amt[i]),
+                date=int(date[i]),
+                currency=int(currency[i]),
+            )
+    maintainer.flush()
+    elapsed = time.perf_counter() - started
+    return elapsed, maintainer.stats.merge_seconds, _maintenance_checksum(db)
+
+
+def _maintenance_scenario_row() -> Dict:
+    """Legacy tuple-at-a-time vs columnar incremental maintenance."""
+    count = int(NUM_EDGES * MAINTENANCE_INSERT_FRACTION)
+    legacy_seconds = float("inf")
+    columnar_seconds = float("inf")
+    legacy_merge = columnar_merge = 0.0
+    legacy_checksum = columnar_checksum = None
+    for _ in range(max(REPETITIONS, 1)):
+        seconds, merge_seconds, legacy_checksum = _run_maintenance_once(False)
+        if seconds < legacy_seconds:
+            legacy_seconds, legacy_merge = seconds, merge_seconds
+        seconds, merge_seconds, columnar_checksum = _run_maintenance_once(True)
+        if seconds < columnar_seconds:
+            columnar_seconds, columnar_merge = seconds, merge_seconds
+    if legacy_checksum != columnar_checksum:
+        raise RuntimeError(
+            f"maintenance: paths disagree ({legacy_checksum} vs {columnar_checksum})"
+        )
+    return {
+        "extended_edges": count,
+        "rowwise_seconds": legacy_seconds,
+        "vectorized_seconds": columnar_seconds,
+        "rowwise_eps": count / legacy_seconds if legacy_seconds else 0.0,
+        "vectorized_eps": count / columnar_seconds if columnar_seconds else 0.0,
+        "speedup": (
+            legacy_seconds / columnar_seconds if columnar_seconds else float("inf")
+        ),
+        "rowwise_merge_seconds": legacy_merge,
+        "vectorized_merge_seconds": columnar_merge,
+    }
+
+
 def _time_plan(graph, plan_factory: Callable[[bool], QueryPlan], vectorized: bool):
     """Best-of-N execution; returns (seconds, extended_edges)."""
     best = float("inf")
@@ -316,6 +456,8 @@ def run_benchmarks() -> Dict:
             "two_leg_scan_limit": TWO_LEG_SCAN_LIMIT,
             "time_threshold": TIME_THRESHOLD,
             "num_cities": NUM_CITIES,
+            "maintenance_insert_fraction": MAINTENANCE_INSERT_FRACTION,
+            "maintenance_date_window": MAINTENANCE_DATE_WINDOW,
         },
         "scenarios": {},
     }
@@ -338,6 +480,7 @@ def run_benchmarks() -> Dict:
                 rowwise_seconds / vector_seconds if vector_seconds else float("inf")
             ),
         }
+    report["scenarios"]["maintenance"] = _maintenance_scenario_row()
     return report
 
 

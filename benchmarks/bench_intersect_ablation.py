@@ -1,0 +1,212 @@
+"""Ablation of the segment-intersection kernel's membership strategies.
+
+The kernel (:func:`repro.storage.intersect.intersect_segments`) picks one of
+three membership tests per leg — linear ``merge``, per-candidate ``gallop``,
+or a boolean-table ``hash`` probe — using two first-principles thresholds
+(``GALLOP_RATIO`` and ``HASH_TABLE_DENSITY``).  This benchmark sweeps the two
+dimensions those thresholds gate on, using the kernel's own ``strategy=``
+override to force each strategy on identical inputs:
+
+* **size skew** — the ratio of second-leg entries to first-leg candidates
+  (``GALLOP_RATIO`` decides when per-candidate binary search beats touching
+  every entry);
+* **key density** — the average gap between consecutive keys inside a
+  segment (``HASH_TABLE_DENSITY`` decides when the table span is dense
+  enough for the O(span) boolean probe).
+
+For every case the adaptive chooser's pick is compared with the fastest
+forced strategy; the summary reports the agreement rate and per-dimension
+winners so the thresholds can be tuned from data rather than argument.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_intersect_ablation.py [--output PATH]
+
+Writes ``BENCH_intersect_ablation.json`` to the repository root by default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from common import print_header  # noqa: E402
+
+from repro.storage import intersect  # noqa: E402
+from repro.storage.intersect import intersect_segments  # noqa: E402
+
+#: Batch rows per case (the kernel always works batch-at-a-time).
+NUM_ROWS = 64
+#: First-leg (candidate side) segment sizes.
+CANDIDATE_SIZES = (8, 64)
+#: Second-leg-entries to first-leg-candidates ratios (the gallop dimension).
+SIZE_RATIOS = (1, 4, 16, 64, 256)
+#: Average key gap inside a segment (the hash-density dimension; gap 1 means
+#: consecutive keys, i.e. maximally dense).
+KEY_GAPS = (1, 8, 64)
+#: Timed repetitions per (case, strategy); best-of is reported.
+REPETITIONS = int(os.environ.get("BENCH_REPETITIONS", "3"))
+
+STRATEGIES = ("merge", "gallop", "hash")
+
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_intersect_ablation.json",
+)
+
+
+def _make_leg(rng, num_rows: int, seg_size: int, gap: int):
+    """Sorted, unique per-row segments with a controlled key density."""
+    gaps = rng.integers(1, 2 * gap + 1, size=(num_rows, seg_size))
+    keys = np.cumsum(gaps, axis=1).ravel()
+    counts = np.full(num_rows, seg_size, dtype=np.int64)
+    return keys.astype(np.int64), counts
+
+
+def _time_strategy(legs, counts, strategy) -> float:
+    best = float("inf")
+    for _ in range(max(REPETITIONS, 1)):
+        started = time.perf_counter()
+        intersect_segments(
+            legs,
+            counts,
+            NUM_ROWS,
+            presorted=[True] * len(legs),
+            need_positions=True,
+            strategy=strategy,
+        )
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _chooser_inputs(leg0_keys, leg0_counts, leg1_keys, leg1_counts):
+    """Replicate the composite-key numbers the adaptive chooser sees."""
+    domain = int(max(leg0_keys.max(), leg1_keys.max())) + 1
+    comp0 = (
+        np.repeat(np.arange(NUM_ROWS, dtype=np.int64) * domain, leg0_counts)
+        + leg0_keys
+    )
+    comp1 = (
+        np.repeat(np.arange(NUM_ROWS, dtype=np.int64) * domain, leg1_counts)
+        + leg1_keys
+    )
+    num_candidates = len(np.unique(comp0))
+    span = int(comp1.max()) - int(comp1.min()) + 1
+    return num_candidates, len(comp1), span
+
+
+def run_ablation() -> Dict:
+    rng = np.random.default_rng(5)
+    cases: List[Dict] = []
+    for cand_size in CANDIDATE_SIZES:
+        for ratio in SIZE_RATIOS:
+            for gap in KEY_GAPS:
+                leg0_keys, leg0_counts = _make_leg(rng, NUM_ROWS, cand_size, gap)
+                leg1_keys, leg1_counts = _make_leg(
+                    rng, NUM_ROWS, cand_size * ratio, gap
+                )
+                legs = [leg0_keys, leg1_keys]
+                counts = [leg0_counts, leg1_counts]
+                timings = {
+                    strategy: _time_strategy(legs, counts, strategy)
+                    for strategy in STRATEGIES
+                }
+                timings["adaptive"] = _time_strategy(legs, counts, None)
+                num_candidates, num_entries, span = _chooser_inputs(
+                    leg0_keys, leg0_counts, leg1_keys, leg1_counts
+                )
+                chosen = intersect.choose_strategy(num_candidates, num_entries, span)
+                fastest = min(STRATEGIES, key=lambda s: timings[s])
+                cases.append(
+                    {
+                        "candidate_segment": cand_size,
+                        "entry_ratio": ratio,
+                        "key_gap": gap,
+                        "num_candidates": num_candidates,
+                        "num_entries": num_entries,
+                        "span": span,
+                        "seconds": timings,
+                        "chosen": chosen,
+                        "fastest": fastest,
+                        "chooser_within_20pct": bool(
+                            timings[chosen] <= 1.2 * timings[fastest]
+                        ),
+                    }
+                )
+    agreement = sum(c["chosen"] == c["fastest"] for c in cases) / len(cases)
+    near_optimal = sum(c["chooser_within_20pct"] for c in cases) / len(cases)
+    # Observed gallop crossover: smallest entries/candidates ratio at which
+    # gallop is the fastest strategy in the sparse (merge-friendly) cases.
+    gallop_wins = [
+        c["num_entries"] / max(c["num_candidates"], 1)
+        for c in cases
+        if c["fastest"] == "gallop"
+    ]
+    return {
+        "config": {
+            "num_rows": NUM_ROWS,
+            "candidate_sizes": list(CANDIDATE_SIZES),
+            "size_ratios": list(SIZE_RATIOS),
+            "key_gaps": list(KEY_GAPS),
+            "repetitions": REPETITIONS,
+        },
+        "thresholds": {
+            "GALLOP_RATIO": intersect.GALLOP_RATIO,
+            "HASH_TABLE_DENSITY": intersect.HASH_TABLE_DENSITY,
+        },
+        "summary": {
+            "cases": len(cases),
+            "chooser_picked_fastest": agreement,
+            "chooser_within_20pct_of_fastest": near_optimal,
+            "min_ratio_where_gallop_fastest": (
+                min(gallop_wins) if gallop_wins else None
+            ),
+        },
+        "cases": cases,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=DEFAULT_OUTPUT,
+        help="path of the JSON results file (default: repo root)",
+    )
+    args = parser.parse_args()
+
+    print_header("Segment-intersection kernel ablation (merge / gallop / hash)")
+    report = run_ablation()
+    print(
+        f"{'cand':>5} {'ratio':>6} {'gap':>4} {'merge ms':>9} {'gallop ms':>10} "
+        f"{'hash ms':>8} {'chosen':>7} {'fastest':>8}"
+    )
+    for case in report["cases"]:
+        seconds = case["seconds"]
+        print(
+            f"{case['candidate_segment']:>5} {case['entry_ratio']:>6} "
+            f"{case['key_gap']:>4} {seconds['merge'] * 1e3:>9.3f} "
+            f"{seconds['gallop'] * 1e3:>10.3f} {seconds['hash'] * 1e3:>8.3f} "
+            f"{case['chosen']:>7} {case['fastest']:>8}"
+        )
+    summary = report["summary"]
+    print(
+        f"\nchooser picked the fastest strategy in "
+        f"{summary['chooser_picked_fastest']:.0%} of {summary['cases']} cases "
+        f"({summary['chooser_within_20pct_of_fastest']:.0%} within 20% of it)"
+    )
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"results written to {args.output}")
+
+
+if __name__ == "__main__":
+    main()

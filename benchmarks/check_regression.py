@@ -48,13 +48,29 @@ def run_check(
         baseline = json.load(handle)
     if tolerance is None:
         tolerance = float(baseline.get("tolerance", 0.2))
+    baseline_scenarios = baseline.get("scenarios")
+    if not isinstance(baseline_scenarios, dict):
+        raise SystemExit(
+            f"baseline {baseline_path} has no 'scenarios' mapping; "
+            "regenerate it from benchmarks/baseline_extend_throughput.json"
+        )
 
     results = run_benchmarks()
     failures = []
-    for name, spec in baseline["scenarios"].items():
+    for name, spec in baseline_scenarios.items():
         measured = results["scenarios"].get(name)
         if measured is None:
-            failures.append(f"{name}: scenario missing from benchmark results")
+            failures.append(
+                f"{name}: baseline scenario missing from benchmark results — "
+                "was it removed from bench_extend_throughput.py without "
+                "updating the baseline?"
+            )
+            continue
+        if "min_speedup" not in spec:
+            failures.append(
+                f"{name}: baseline entry has no 'min_speedup' floor; add one "
+                f"to {baseline_path}"
+            )
             continue
         floor = float(spec["min_speedup"]) * (1.0 - tolerance)
         speedup = float(measured["speedup"])
@@ -62,6 +78,12 @@ def run_check(
             failures.append(
                 f"{name}: speedup {speedup:.2f}x below floor {floor:.2f}x "
                 f"(baseline min {spec['min_speedup']}x, tolerance {tolerance:.0%})"
+            )
+    for name in results["scenarios"]:
+        if name not in baseline_scenarios:
+            failures.append(
+                f"{name}: no baseline floor recorded — add the scenario to "
+                f"{baseline_path} so it is gated"
             )
 
     report = {"ok": not failures, "failures": failures, "results": results}

@@ -3,25 +3,36 @@
 :class:`GraphBuilder` collects vertices and edges with arbitrary property
 dictionaries and produces a finalized :class:`PropertyGraph`.  It is the
 convenient path for examples, tests, and small hand-written graphs such as the
-paper's running example (Figure 1).  Large synthetic datasets are built
-directly from arrays by :mod:`repro.graph.generators`.
+paper's running example (Figure 1).
+
+Edges can be added one at a time (:meth:`GraphBuilder.add_edge`) or in
+columnar batches (:meth:`GraphBuilder.add_edges`): a batch keeps its
+src/dst/label/property arrays as one chunk and :meth:`GraphBuilder.build`
+assembles the final columns by concatenation, so loaders and generators can
+build large graphs columnar-first instead of paying a Python call and a dict
+per edge.  Large synthetic datasets are built directly from arrays by
+:mod:`repro.graph.generators`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..errors import GraphBuildError
 from .graph import PropertyGraph
-from .property_store import PropertyStore
+from .property_store import PropertyStore, encode_raw_column
 from .schema import GraphSchema
 from .types import PropertyType, PropertyValue
 
+#: One ordered run of edges: either tuple-at-a-time rows or a columnar chunk.
+_RowSegment = Tuple[str, List[int], List[int], List[int], List[Dict[str, PropertyValue]]]
+_ChunkSegment = Tuple[str, np.ndarray, np.ndarray, np.ndarray, Dict[str, Sequence]]
+
 
 class GraphBuilder:
-    """Builds a :class:`PropertyGraph` one vertex/edge at a time.
+    """Builds a :class:`PropertyGraph` from vertices and (batched) edges.
 
     Property types are inferred on first use (int -> INT, float -> FLOAT,
     str -> CATEGORICAL by default) unless declared explicitly with
@@ -44,10 +55,10 @@ class GraphBuilder:
         self._vertex_labels: List[int] = []
         self._vertex_keys: Dict[Hashable, int] = {}
         self._vertex_props: List[Dict[str, PropertyValue]] = []
-        self._edge_src: List[int] = []
-        self._edge_dst: List[int] = []
-        self._edge_labels: List[int] = []
-        self._edge_props: List[Dict[str, PropertyValue]] = []
+        # Edges are kept as an ordered list of segments so scalar and bulk
+        # additions can interleave while edge IDs stay dense and sequential.
+        self._edge_segments: List[Union[_RowSegment, _ChunkSegment]] = []
+        self._num_edges = 0
         self._declared_vprops: Dict[str, PropertyType] = {}
         self._declared_eprops: Dict[str, PropertyType] = {}
         self._vprop_values: Dict[str, set] = {}
@@ -103,6 +114,13 @@ class GraphBuilder:
         except KeyError as exc:
             raise GraphBuildError(f"unknown vertex key {key!r}") from exc
 
+    def _open_row_segment(self) -> _RowSegment:
+        if self._edge_segments and self._edge_segments[-1][0] == "rows":
+            return self._edge_segments[-1]
+        segment: _RowSegment = ("rows", [], [], [], [])
+        self._edge_segments.append(segment)
+        return segment
+
     def add_edge(
         self,
         src: int,
@@ -117,16 +135,89 @@ class GraphBuilder:
             raise GraphBuildError(
                 f"edge endpoints ({src}, {dst}) out of range [0, {num_vertices})"
             )
-        edge_id = len(self._edge_src)
-        self._edge_src.append(src)
-        self._edge_dst.append(dst)
-        self._edge_labels.append(self.schema.add_edge_label(label))
-        self._edge_props.append(dict(properties))
+        edge_id = self._num_edges
+        _, src_list, dst_list, label_list, props_list = self._open_row_segment()
+        src_list.append(src)
+        dst_list.append(dst)
+        label_list.append(self.schema.add_edge_label(label))
+        props_list.append(dict(properties))
+        self._num_edges += 1
         for name, value in properties.items():
             self._eprop_values.setdefault(name, set())
             if isinstance(value, str):
                 self._eprop_values[name].add(value)
         return edge_id
+
+    def add_edges(
+        self,
+        src,
+        dst,
+        labels,
+        properties: Optional[Dict[str, Sequence]] = None,
+    ) -> np.ndarray:
+        """Add a batch of edges columnar-ly and return their dense edge IDs.
+
+        The batch is stored as one chunk (no per-edge Python objects);
+        :meth:`build` turns chunks into property columns by concatenation.
+
+        Args:
+            src / dst: endpoint vertex-ID arrays of equal length.
+            labels: one edge-label name for the whole batch, or a sequence of
+                label names aligned with ``src``.
+            properties: mapping from property name to an aligned value
+                sequence; ``None`` entries are nulls.
+        """
+        self._check_not_built()
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape or src.ndim != 1:
+            raise GraphBuildError("src and dst must be 1-D arrays of equal length")
+        count = len(src)
+        first_id = self._num_edges
+        edge_ids = np.arange(first_id, first_id + count, dtype=np.int64)
+        if count == 0:
+            return edge_ids
+        num_vertices = len(self._vertex_labels)
+        if (
+            int(src.min()) < 0
+            or int(src.max()) >= num_vertices
+            or int(dst.min()) < 0
+            or int(dst.max()) >= num_vertices
+        ):
+            raise GraphBuildError(
+                f"edge endpoints out of range [0, {num_vertices})"
+            )
+        if isinstance(labels, str):
+            codes = np.full(count, self.schema.add_edge_label(labels), dtype=np.int32)
+        else:
+            label_list = list(labels)
+            if len(label_list) != count:
+                raise GraphBuildError(
+                    f"labels has {len(label_list)} entries, expected {count}"
+                )
+            cache: Dict[str, int] = {}
+            codes = np.empty(count, dtype=np.int32)
+            for position, name in enumerate(label_list):
+                code = cache.get(name)
+                if code is None:
+                    code = cache[name] = self.schema.add_edge_label(name)
+                codes[position] = code
+        chunk_props: Dict[str, Sequence] = {}
+        for name, values in (properties or {}).items():
+            if len(values) != count:
+                raise GraphBuildError(
+                    f"property {name!r} has {len(values)} values, expected {count}"
+                )
+            chunk_props[name] = values
+            bucket = self._eprop_values.setdefault(name, set())
+            arr = np.asarray(values)
+            if arr.dtype.kind in "US":
+                bucket.update(np.unique(arr).tolist())
+            elif arr.dtype.kind == "O":
+                bucket.update(v for v in values if isinstance(v, str))
+        self._edge_segments.append(("chunk", src, dst, codes, chunk_props))
+        self._num_edges += count
+        return edge_ids
 
     def _check_not_built(self) -> None:
         if self._built:
@@ -157,6 +248,38 @@ class GraphBuilder:
                 return PropertyType.CATEGORICAL
         return PropertyType.INT
 
+    def _infer_edge_type(self, name: str) -> PropertyType:
+        if name in self._declared_eprops:
+            return self._declared_eprops[name]
+        for segment in self._edge_segments:
+            if segment[0] == "rows":
+                inferred = self._infer_type(name, {}, segment[4])
+                if inferred is not PropertyType.INT or any(
+                    row.get(name) is not None for row in segment[4]
+                ):
+                    return inferred
+                continue
+            values = segment[4].get(name)
+            if values is None:
+                continue
+            arr = np.asarray(values)
+            if arr.dtype.kind in "iu" or arr.dtype.kind == "b":
+                return PropertyType.INT
+            if arr.dtype.kind == "f":
+                return PropertyType.FLOAT
+            if arr.dtype.kind in "US":
+                return PropertyType.CATEGORICAL
+            for value in values:
+                if value is None:
+                    continue
+                if isinstance(value, bool) or isinstance(value, int):
+                    return PropertyType.INT
+                if isinstance(value, float):
+                    return PropertyType.FLOAT
+                if isinstance(value, str):
+                    return PropertyType.CATEGORICAL
+        return PropertyType.INT
+
     def _register_props(
         self,
         kind: str,
@@ -175,6 +298,22 @@ class GraphBuilder:
             else:
                 self.schema.add_edge_property(name, ptype, categories)
 
+    def _register_edge_props(self) -> List[str]:
+        names = set(self._declared_eprops)
+        for segment in self._edge_segments:
+            if segment[0] == "rows":
+                names.update(name for row in segment[4] for name in row)
+            else:
+                names.update(segment[4])
+        names = sorted(names)
+        for name in names:
+            ptype = self._infer_edge_type(name)
+            categories = None
+            if ptype is PropertyType.CATEGORICAL:
+                categories = sorted(self._eprop_values.get(name, set()))
+            self.schema.add_edge_property(name, ptype, categories)
+        return names
+
     def build(self) -> PropertyGraph:
         """Finalize and return the :class:`PropertyGraph`."""
         self._check_not_built()
@@ -182,9 +321,7 @@ class GraphBuilder:
         self._register_props(
             "vertex", self._vertex_props, self._declared_vprops, self._vprop_values
         )
-        self._register_props(
-            "edge", self._edge_props, self._declared_eprops, self._eprop_values
-        )
+        edge_prop_names = self._register_edge_props()
 
         vertex_store = PropertyStore(self.schema, "vertex")
         vertex_store.set_count(len(self._vertex_labels))
@@ -192,18 +329,56 @@ class GraphBuilder:
             for name, value in props.items():
                 vertex_store.set_value(vertex_id, name, value)
 
+        src_parts: List[np.ndarray] = []
+        dst_parts: List[np.ndarray] = []
+        label_parts: List[np.ndarray] = []
+        for segment in self._edge_segments:
+            if segment[0] == "rows":
+                src_parts.append(np.asarray(segment[1], dtype=np.int32))
+                dst_parts.append(np.asarray(segment[2], dtype=np.int32))
+                label_parts.append(np.asarray(segment[3], dtype=np.int32))
+            else:
+                src_parts.append(segment[1].astype(np.int32))
+                dst_parts.append(segment[2].astype(np.int32))
+                label_parts.append(segment[3])
+
+        def _concat(parts: List[np.ndarray]) -> np.ndarray:
+            if not parts:
+                return np.empty(0, dtype=np.int32)
+            return np.concatenate(parts)
+
         edge_store = PropertyStore(self.schema, "edge")
-        edge_store.set_count(len(self._edge_src))
-        for edge_id, props in enumerate(self._edge_props):
-            for name, value in props.items():
-                edge_store.set_value(edge_id, name, value)
+        edge_store.set_count(self._num_edges)
+        for name in edge_prop_names:
+            prop = self.schema.edge_property(name)
+            if prop.ptype is PropertyType.STRING:
+                column: List[object] = []
+                for segment in self._edge_segments:
+                    if segment[0] == "rows":
+                        column.extend(row.get(name) for row in segment[4])
+                    else:
+                        values = segment[4].get(name)
+                        size = len(segment[1])
+                        column.extend(values if values is not None else [None] * size)
+                edge_store.set_raw_column(name, column)
+                continue
+            chunks = []
+            for segment in self._edge_segments:
+                size = len(segment[1])
+                if segment[0] == "rows":
+                    values: Sequence = [row.get(name) for row in segment[4]]
+                else:
+                    values = segment[4].get(name)
+                chunks.append(encode_raw_column(prop, values, size))
+            if chunks:
+                edge_store.set_raw_column(name, np.concatenate(chunks))
 
         return PropertyGraph(
             schema=self.schema,
             vertex_labels=np.asarray(self._vertex_labels, dtype=np.int32),
-            edge_src=np.asarray(self._edge_src, dtype=np.int32),
-            edge_dst=np.asarray(self._edge_dst, dtype=np.int32),
-            edge_labels=np.asarray(self._edge_labels, dtype=np.int32),
+            edge_src=_concat(src_parts),
+            edge_dst=_concat(dst_parts),
+            edge_labels=_concat(label_parts),
             vertex_props=vertex_store,
             edge_props=edge_store,
         )

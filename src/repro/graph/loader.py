@@ -171,16 +171,28 @@ def load_csv(
             props = {k: _coerce(v) for k, v in row.items()}
             builder.add_vertex(label, key=external_id, **props)
 
+    # Edges are collected column-wise and handed to the builder's bulk
+    # ``add_edges`` path in one batch, so large edge files do not pay a
+    # Python call plus a property dict per edge.
     with open(edge_path, "r", encoding="utf-8", newline="") as handle:
         reader = csv.DictReader(handle)
         required = {"src", "dst"}
         if reader.fieldnames is None or not required.issubset(reader.fieldnames):
             raise GraphBuildError("edge CSV must have 'src' and 'dst' columns")
+        src_ids: List[int] = []
+        dst_ids: List[int] = []
+        labels: List[str] = []
+        prop_names = [
+            name for name in reader.fieldnames if name not in ("src", "dst", "label")
+        ]
+        prop_columns: Dict[str, List] = {name: [] for name in prop_names}
         for row in reader:
-            src = builder.vertex_id(row.pop("src"))
-            dst = builder.vertex_id(row.pop("dst"))
-            label = row.pop("label", "E")
-            props = {k: _coerce(v) for k, v in row.items()}
-            builder.add_edge(src, dst, label, **props)
+            src_ids.append(builder.vertex_id(row["src"]))
+            dst_ids.append(builder.vertex_id(row["dst"]))
+            labels.append(row.get("label", "E"))
+            for name in prop_names:
+                prop_columns[name].append(_coerce(row.get(name, "")))
+        if src_ids:
+            builder.add_edges(src_ids, dst_ids, labels, properties=prop_columns)
 
     return builder.build()

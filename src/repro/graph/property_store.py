@@ -23,6 +23,79 @@ from .schema import GraphSchema, PropertyDef
 from .types import NULL_CATEGORY, NULL_INT, PropertyType, PropertyValue
 
 
+def raw_dtype_of(prop: PropertyDef):
+    """Canonical numpy dtype of a property's raw column (None for strings)."""
+    if prop.ptype is PropertyType.INT:
+        return np.int64
+    if prop.ptype is PropertyType.FLOAT:
+        return np.float64
+    if prop.ptype is PropertyType.CATEGORICAL:
+        return np.int32
+    return None
+
+
+def raw_null_of(prop: PropertyDef):
+    """Raw null marker of a property column (None for strings)."""
+    if prop.ptype is PropertyType.INT:
+        return NULL_INT
+    if prop.ptype is PropertyType.FLOAT:
+        return np.nan
+    if prop.ptype is PropertyType.CATEGORICAL:
+        return NULL_CATEGORY
+    return None
+
+
+def encode_raw_column(prop: PropertyDef, values: Sequence, count: int):
+    """Code a sequence of user-level values into one raw column chunk.
+
+    Numeric numpy inputs pass through with a dtype cast only; anything else
+    (lists with ``None`` holes, categorical names) is coded value-by-value
+    with a per-call category cache.  ``values`` of ``None`` yields an
+    all-null column of length ``count``.
+    """
+    dtype = raw_dtype_of(prop)
+    if dtype is None:  # STRING columns stay Python lists.
+        if values is None:
+            return [None] * count
+        out = list(values)
+        if len(out) != count:
+            raise SchemaError(
+                f"column chunk has {len(out)} values, expected {count}"
+            )
+        return out
+    null = raw_null_of(prop)
+    if values is None:
+        return np.full(count, null, dtype=dtype)
+    if isinstance(values, np.ndarray) and values.dtype.kind in "iuf":
+        column = values.astype(dtype, copy=False)
+        if len(column) != count:
+            raise SchemaError(
+                f"column chunk has {len(column)} values, expected {count}"
+            )
+        return column
+    column = np.full(count, null, dtype=dtype)
+    if len(values) != count:
+        raise SchemaError(f"column chunk has {len(values)} values, expected {count}")
+    if prop.ptype is PropertyType.CATEGORICAL:
+        codes = {}
+        for position, value in enumerate(values):
+            if value is None:
+                continue
+            if isinstance(value, str):
+                code = codes.get(value)
+                if code is None:
+                    code = codes[value] = prop.code_of(value)
+                column[position] = code
+            else:
+                column[position] = int(value)
+        return column
+    caster = float if prop.ptype is PropertyType.FLOAT else int
+    for position, value in enumerate(values):
+        if value is not None:
+            column[position] = caster(value)
+    return column
+
+
 class PropertyStore:
     """Columnar store for the properties of one element kind (vertex or edge).
 
@@ -164,6 +237,38 @@ class PropertyStore:
                 [np.nan if v is None else float(v) for v in values], dtype=np.float64
             )
         self._columns[name] = column
+
+    def set_raw_column(self, name: str, column) -> None:
+        """Install an already-coded column without per-value conversion.
+
+        The columnar counterpart of :meth:`set_column`: ``column`` must hold
+        raw values (dictionary codes for categoricals, null markers for
+        missing values) in the property's canonical dtype, as produced by
+        :meth:`column` or :func:`encode_raw_column`.  Used by the bulk
+        maintenance merge to append delta columns with one concatenation
+        instead of decoding and re-coding every value.
+        """
+        prop = self._prop_def(name)
+        dtype = raw_dtype_of(prop)
+        if dtype is None:
+            if not isinstance(column, list):
+                column = list(column)
+            if len(column) != self._count:
+                raise SchemaError(
+                    f"column {name!r} has {len(column)} values, expected {self._count}"
+                )
+            self._columns[name] = column
+            return
+        column = np.asarray(column)
+        if column.dtype.kind not in "iuf":
+            raise SchemaError(
+                f"set_raw_column expects a numeric coded column for {name!r}"
+            )
+        if len(column) != self._count:
+            raise SchemaError(
+                f"column {name!r} has {len(column)} values, expected {self._count}"
+            )
+        self._columns[name] = column.astype(dtype, copy=False)
 
     # ------------------------------------------------------------------
     # reading

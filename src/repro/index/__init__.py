@@ -12,7 +12,7 @@ from .ddl import (
 )
 from .edge_partitioned import EdgePartitionedIndex
 from .index_store import AccessPath, IndexStore
-from .maintenance import IndexMaintainer, MaintenanceStats, PendingEdge
+from .maintenance import ColumnarEdgeDelta, IndexMaintainer, MaintenanceStats, PendingEdge
 from .primary import AdjacencyIndex, PrimaryIndex, ReconfigurationResult
 from .vertex_partitioned import VertexPartitionedIndex
 from .views import OneHopView, TwoHopView
@@ -26,6 +26,7 @@ __all__ = [
     "DDLCommand",
     "EdgePartitionedIndex",
     "IndexConfig",
+    "ColumnarEdgeDelta",
     "IndexMaintainer",
     "IndexStore",
     "MaintenanceStats",

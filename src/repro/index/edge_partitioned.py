@@ -92,6 +92,37 @@ class EdgePartitionedIndex:
         self.offset_lists = OffsetLists(offsets[order], bound_ids[order])
         self.creation_seconds = time.perf_counter() - started
 
+    @classmethod
+    def from_sorted(
+        cls,
+        graph: PropertyGraph,
+        view: TwoHopView,
+        config: IndexConfig,
+        primary: PrimaryIndex,
+        csr: NestedCSR,
+        offsets: np.ndarray,
+        bound_ids: np.ndarray,
+        name: Optional[str] = None,
+    ) -> "EdgePartitionedIndex":
+        """Build an index from pre-merged state, skipping the 2-hop join.
+
+        ``offsets``/``bound_ids`` must already be in index position order
+        (surviving pairs spliced with the sorted delta pairs) with offsets
+        recomputed against the new primary index, and ``csr`` built over the
+        matching group IDs.  Used by incremental maintenance merges.
+        """
+        self = cls.__new__(cls)
+        self.graph = graph
+        self.view = view
+        self.config = config
+        self.adjacency = view.adjacency
+        self.name = name or view.name
+        self.adjacent_primary = primary.for_direction(view.adjacency_direction)
+        self.csr = csr
+        self.offset_lists = OffsetLists(offsets, bound_ids)
+        self.creation_seconds = 0.0
+        return self
+
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------

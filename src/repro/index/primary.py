@@ -86,6 +86,37 @@ class AdjacencyIndex:
             graph.num_edges, dtype=np.int64
         )
 
+    @classmethod
+    def from_sorted(
+        cls,
+        graph: PropertyGraph,
+        direction: Direction,
+        config: IndexConfig,
+        csr: NestedCSR,
+        edge_ids: np.ndarray,
+        nbr_ids: np.ndarray,
+        name: Optional[str] = None,
+    ) -> "AdjacencyIndex":
+        """Build an index from pre-merged state, skipping the global sort.
+
+        The incremental maintenance path computes the merged entry order and
+        offsets outside the constructor (surviving entries spliced with the
+        sorted delta); ``edge_ids``/``nbr_ids`` must already be in index
+        position order and ``csr`` built over the matching group IDs.
+        """
+        self = cls.__new__(cls)
+        self.graph = graph
+        self.direction = direction
+        self.config = config
+        self.name = name or f"primary-{direction.value}"
+        self.csr = csr
+        self.id_lists = IdLists(edge_ids, nbr_ids)
+        self._position_of_edge = np.empty(graph.num_edges, dtype=np.int64)
+        self._position_of_edge[self.id_lists.edge_ids] = np.arange(
+            graph.num_edges, dtype=np.int64
+        )
+        return self
+
     # ------------------------------------------------------------------
     # lookups
     # ------------------------------------------------------------------
@@ -206,6 +237,20 @@ class PrimaryIndex:
         self.backward = AdjacencyIndex(
             graph, Direction.BACKWARD, backward_config or base, name="primary-bw"
         )
+
+    @classmethod
+    def from_directions(
+        cls,
+        graph: PropertyGraph,
+        forward: AdjacencyIndex,
+        backward: AdjacencyIndex,
+    ) -> "PrimaryIndex":
+        """Wrap two already-built directional indexes (incremental merges)."""
+        self = cls.__new__(cls)
+        self.graph = graph
+        self.forward = forward
+        self.backward = backward
+        return self
 
     def for_direction(self, direction: Direction) -> AdjacencyIndex:
         return self.forward if direction is Direction.FORWARD else self.backward

@@ -109,6 +109,41 @@ class VertexPartitionedIndex:
         )
         self.creation_seconds = time.perf_counter() - started
 
+    @classmethod
+    def from_sorted(
+        cls,
+        graph: PropertyGraph,
+        view: OneHopView,
+        direction: Direction,
+        config: IndexConfig,
+        primary: AdjacencyIndex,
+        csr: NestedCSR,
+        offsets: np.ndarray,
+        bound_ids: np.ndarray,
+        name: Optional[str] = None,
+    ) -> "VertexPartitionedIndex":
+        """Build an index from pre-merged state, skipping view scan and sort.
+
+        ``offsets``/``bound_ids`` must already be in index position order
+        (surviving entries spliced with the sorted delta) with offsets
+        recomputed against ``primary``, and ``csr`` built over the matching
+        group IDs.  Used by incremental maintenance merges.
+        """
+        self = cls.__new__(cls)
+        self.graph = graph
+        self.view = view
+        self.direction = direction
+        self.config = config
+        self.primary = primary
+        self.name = name or f"{view.name}-{direction.value}"
+        self.csr = csr
+        self.offset_lists = OffsetLists(offsets, bound_ids)
+        self.shares_partition_levels = bool(
+            view.is_global and config.same_partitioning_as(primary.config)
+        )
+        self.creation_seconds = 0.0
+        return self
+
     # ------------------------------------------------------------------
     # construction helpers
     # ------------------------------------------------------------------
@@ -116,17 +151,9 @@ class VertexPartitionedIndex:
         """Edge IDs that belong to the 1-hop view."""
         graph = self.graph
         all_edges = np.arange(graph.num_edges, dtype=EDGE_ID_DTYPE)
-        mask = np.ones(graph.num_edges, dtype=bool)
-        if self.view.edge_label is not None:
-            label_code = graph.schema.edge_label_code(self.view.edge_label)
-            mask &= graph.edge_labels == label_code
-        if not self.view.predicate.is_true:
-            arrays = {
-                "eadj": ("edge", all_edges),
-                "vs": ("vertex", graph.edge_src),
-                "vd": ("vertex", graph.edge_dst),
-            }
-            mask &= self.view.predicate.evaluate_bulk(graph, {}, arrays)
+        mask = self.view.membership_mask(
+            graph, graph.edge_labels, all_edges, graph.edge_src, graph.edge_dst
+        )
         return all_edges[mask]
 
     # ------------------------------------------------------------------

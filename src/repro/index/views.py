@@ -22,11 +22,14 @@ neighbour vertex, i.e. the endpoint not shared with ``eb``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Optional, Tuple
+from typing import FrozenSet, Mapping, Optional, Tuple
+
+import numpy as np
 
 from ..errors import IndexConfigError
+from ..graph.graph import PropertyGraph
 from ..graph.types import Direction, EdgeAdjacencyType
-from ..predicates import Predicate
+from ..predicates import ColumnProvider, Predicate
 
 #: Variables a 1-hop view predicate may reference.
 ONE_HOP_VARIABLES: FrozenSet[str] = frozenset({"vs", "vd", "eadj"})
@@ -63,6 +66,42 @@ class OneHopView:
     def is_global(self) -> bool:
         """True when the view contains every edge (no predicate, no label)."""
         return self.predicate.is_true and self.edge_label is None
+
+    def membership_mask(
+        self,
+        graph: PropertyGraph,
+        label_codes: np.ndarray,
+        eadj_ids: np.ndarray,
+        src_ids: np.ndarray,
+        dst_ids: np.ndarray,
+        overrides: Optional[Mapping[str, ColumnProvider]] = None,
+    ) -> np.ndarray:
+        """Boolean mask of which candidate edges belong to this view.
+
+        The single definition of 1-hop membership shared by index
+        construction (all edges of the graph) and maintenance (pending
+        edges, possibly not yet materialized — ``overrides`` then serves the
+        buffered ``eadj`` columns; see ``Predicate.evaluate_bulk``).
+
+        Args:
+            graph: the property graph the non-overridden variables read from.
+            label_codes: edge-label code of each candidate edge.
+            eadj_ids: candidate edge IDs (dummy row indices when ``eadj`` is
+                fully overridden).
+            src_ids / dst_ids: endpoint vertex IDs of each candidate edge.
+        """
+        mask = np.ones(len(eadj_ids), dtype=bool)
+        if self.edge_label is not None:
+            code = graph.schema.edge_label_code(self.edge_label)
+            mask &= np.asarray(label_codes) == code
+        if not self.predicate.is_true:
+            arrays = {
+                "eadj": ("edge", np.asarray(eadj_ids)),
+                "vs": ("vertex", np.asarray(src_ids)),
+                "vd": ("vertex", np.asarray(dst_ids)),
+            }
+            mask &= self.predicate.evaluate_bulk(graph, {}, arrays, overrides=overrides)
+        return mask
 
     def describe(self) -> str:
         label = f":{self.edge_label}" if self.edge_label else ""

@@ -20,7 +20,18 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -113,6 +124,11 @@ class Constant:
 
 
 Operand = Union[PropertyRef, Constant]
+
+#: A raw-column provider for one bulk-evaluation variable: called with a
+#: property name, returns the coded value column for the variable's rows, or
+#: ``None`` to defer to the graph's own columns.
+ColumnProvider = Callable[[str], Optional[np.ndarray]]
 
 
 def _raw_scalar(
@@ -298,12 +314,21 @@ class Comparison:
         graph: PropertyGraph,
         fixed: Mapping[str, Tuple[str, int]],
         arrays: Mapping[str, Tuple[str, np.ndarray]],
+        overrides: Optional[Mapping[str, "ColumnProvider"]] = None,
     ) -> np.ndarray:
         """Vectorized evaluation.
 
         Variables in ``arrays`` range over aligned arrays of element IDs (all
         the same length); variables in ``fixed`` are scalar bindings.  Returns
         a boolean mask of the common array length.
+
+        ``overrides`` optionally maps a variable name to a *column provider*,
+        a callable ``prop -> Optional[ndarray]`` returning the raw (coded)
+        value column of that property for the variable's rows, or ``None`` to
+        fall back to the graph columns.  This is how not-yet-materialized
+        elements (e.g. the pending edges of a columnar maintenance buffer)
+        are evaluated once per batch: the provider serves the buffered
+        columns while the other variables keep reading the graph.
         """
         comp = self.normalized()
         length = len(next(iter(arrays.values()))[1]) if arrays else 1
@@ -318,6 +343,10 @@ class Comparison:
                         kind = fixed[reference.var][0]
                     value = encode_constant(graph, reference, kind, value)
                 return value, True
+            if overrides is not None and operand.var in overrides:
+                column = overrides[operand.var](operand.prop)
+                if column is not None:
+                    return np.asarray(column), False
             if operand.var in arrays:
                 kind, ids = arrays[operand.var]
                 return _raw_bulk(graph, kind, ids, operand.prop), False
@@ -434,6 +463,7 @@ class Predicate:
         graph: PropertyGraph,
         fixed: Mapping[str, Tuple[str, int]],
         arrays: Mapping[str, Tuple[str, np.ndarray]],
+        overrides: Optional[Mapping[str, ColumnProvider]] = None,
     ) -> np.ndarray:
         if not arrays:
             raise QueryParseError("evaluate_bulk requires at least one array variable")
@@ -442,7 +472,7 @@ class Predicate:
         for comparison in self._comparisons:
             if not mask.any():
                 break
-            mask &= comparison.evaluate_bulk(graph, fixed, arrays)
+            mask &= comparison.evaluate_bulk(graph, fixed, arrays, overrides)
         return mask
 
     def describe(self) -> str:

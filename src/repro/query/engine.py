@@ -86,8 +86,18 @@ class Database:
     def optimizer(self) -> Optimizer:
         return Optimizer(self.store)
 
-    def maintainer(self, merge_threshold: int = 4096) -> IndexMaintainer:
-        return IndexMaintainer(self.store, merge_threshold=merge_threshold)
+    def maintainer(
+        self,
+        merge_threshold: int = 4096,
+        columnar: bool = True,
+        incremental: bool = True,
+    ) -> IndexMaintainer:
+        return IndexMaintainer(
+            self.store,
+            merge_threshold=merge_threshold,
+            columnar=columnar,
+            incremental=incremental,
+        )
 
     # ------------------------------------------------------------------
     # index management

@@ -33,6 +33,151 @@ import numpy as np
 from ..errors import IndexLookupError
 from ..graph.types import CSR_OFFSET_BYTES, OFFSET_DTYPE
 
+#: Largest packed lexicographic-key domain folded into a single int64.
+_PACK_LIMIT = 1 << 62
+
+
+def fold_group_ids(
+    bound_ids: np.ndarray,
+    level_codes: Sequence[np.ndarray],
+    level_domains: Sequence[int],
+) -> np.ndarray:
+    """Fold bound IDs and nested partition codes into flat deepest-level
+    group IDs, exactly as :class:`NestedCSR` numbers its most granular
+    groups (``((bound * d1 + c1) * d2 + c2) ...``)."""
+    group_ids = np.asarray(bound_ids, dtype=np.int64).copy()
+    for codes, domain in zip(level_codes, level_domains):
+        group_ids *= int(domain)
+        group_ids += np.asarray(codes, dtype=np.int64)
+    return group_ids
+
+
+def _rank_encode(base: np.ndarray, delta: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Order-preserving integer ranks of two arrays over their joint values."""
+    uniq = np.unique(np.concatenate([base, delta]))
+    return (
+        np.searchsorted(uniq, base).astype(np.int64),
+        np.searchsorted(uniq, delta).astype(np.int64),
+        len(uniq),
+    )
+
+
+def _packed_composites(
+    base_keys: Sequence[np.ndarray], delta_keys: Sequence[np.ndarray]
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Fold aligned lexicographic key columns into one int64 per entry.
+
+    Integer columns are shifted to a zero base; float columns and integer
+    columns whose raw range is excessive (e.g. null markers near the int64
+    extremes) are rank-encoded over the joint values, which preserves order
+    and exact equality.  Returns ``None`` when even the rank-encoded domains
+    cannot be packed into an int64 without overflow.
+    """
+    levels: List[Tuple[np.ndarray, np.ndarray, int]] = []
+    for base, delta in zip(base_keys, delta_keys):
+        if base.dtype.kind in "iu" and delta.dtype.kind in "iu":
+            lo = min(int(base.min()), int(delta.min()))
+            hi = max(int(base.max()), int(delta.max()))
+            domain = hi - lo + 1
+            if domain <= _PACK_LIMIT:
+                levels.append(
+                    (
+                        base.astype(np.int64) - lo,
+                        delta.astype(np.int64) - lo,
+                        domain,
+                    )
+                )
+                continue
+        levels.append(_rank_encode(base, delta))
+    total = 1
+    for _, _, domain in levels:
+        total *= domain  # Python ints: no silent overflow.
+    if total > _PACK_LIMIT:
+        return None
+    base_comp = np.zeros(len(base_keys[0]), dtype=np.int64)
+    delta_comp = np.zeros(len(delta_keys[0]), dtype=np.int64)
+    for base, delta, domain in levels:
+        base_comp *= domain
+        base_comp += base
+        delta_comp *= domain
+        delta_comp += delta
+    return base_comp, delta_comp
+
+
+def merge_sorted_runs(
+    base_keys: Sequence[np.ndarray],
+    delta_keys: Sequence[np.ndarray],
+    base_first_on_ties: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge two individually lex-sorted runs into one globally sorted order.
+
+    This is the vectorized splice behind incremental index maintenance: the
+    surviving entries of an index (already in index order) form the base run
+    and the sorted pending insertions form the delta run.  Keys are aligned
+    column sequences, **major key first** (typically the flat group ID
+    followed by the sort-key values).
+
+    The fast path folds the key columns into one int64 composite per entry
+    (see :func:`_packed_composites`) and finds every delta entry's insertion
+    point with a single ``searchsorted`` into the base run; output positions
+    follow from pure index arithmetic.  When the composite domain cannot fit
+    in an int64 the merge falls back to one stable ``np.lexsort`` over the
+    concatenated columns — still loop-free, with identical results.
+
+    Args:
+        base_keys / delta_keys: aligned key columns, major first; each run
+            must already be lex-sorted on its own keys (ties in input order).
+        base_first_on_ties: when True, base entries precede delta entries
+            that compare equal on every key (the stable-sort convention for
+            appended entries with larger IDs).
+
+    Returns:
+        ``(base_positions, delta_positions)``: the output position of every
+        base / delta entry in the merged order.  Both runs keep their
+        internal relative order.
+    """
+    if len(base_keys) != len(delta_keys) or not base_keys:
+        raise IndexLookupError("merge_sorted_runs requires aligned, non-empty key lists")
+    base_keys = [np.asarray(keys) for keys in base_keys]
+    delta_keys = [np.asarray(keys) for keys in delta_keys]
+    num_base = len(base_keys[0])
+    num_delta = len(delta_keys[0])
+    if num_delta == 0:
+        return np.arange(num_base, dtype=np.int64), np.empty(0, dtype=np.int64)
+    if num_base == 0:
+        return np.empty(0, dtype=np.int64), np.arange(num_delta, dtype=np.int64)
+
+    packed = _packed_composites(base_keys, delta_keys)
+    if packed is not None:
+        base_comp, delta_comp = packed
+        side = "right" if base_first_on_ties else "left"
+        insert_at = np.searchsorted(base_comp, delta_comp, side=side).astype(np.int64)
+        delta_positions = insert_at + np.arange(num_delta, dtype=np.int64)
+        # A delta entry precedes base entry i exactly when its insertion
+        # point is <= i (both tie conventions reduce to the same test).
+        base_positions = np.arange(num_base, dtype=np.int64) + np.searchsorted(
+            insert_at, np.arange(num_base, dtype=np.int64), side="right"
+        )
+        return base_positions, delta_positions
+
+    # Fallback: one stable lexsort of the concatenated columns with a
+    # run-indicator as the most minor key to realize the tie convention.
+    indicator = np.concatenate(
+        [
+            np.zeros(num_base, dtype=np.int8),
+            np.ones(num_delta, dtype=np.int8),
+        ]
+    )
+    if not base_first_on_ties:
+        indicator = 1 - indicator
+    lexsort_keys: List[np.ndarray] = [indicator]
+    for base, delta in zip(reversed(base_keys), reversed(delta_keys)):
+        lexsort_keys.append(np.concatenate([base, delta]))
+    order = np.lexsort(tuple(lexsort_keys))
+    inverse = np.empty(num_base + num_delta, dtype=np.int64)
+    inverse[order] = np.arange(num_base + num_delta, dtype=np.int64)
+    return inverse[:num_base], inverse[num_base:]
+
 
 def segment_mask_counts(counts: np.ndarray, mask: np.ndarray) -> np.ndarray:
     """Per-segment True counts of a mask over concatenated segments.
@@ -96,9 +241,7 @@ class NestedCSR:
         self._total_groups = total_groups
 
         # Flattened group ID of each entry at the deepest level.
-        group_ids = bound_ids.copy()
-        for code, domain in zip(codes, self.level_domains):
-            group_ids = group_ids * domain + code
+        group_ids = fold_group_ids(bound_ids, codes, self.level_domains)
 
         # Sort order: bound ID, then partition codes (already folded into the
         # group ID), then the sort keys (major first).  ``np.lexsort`` treats
@@ -119,6 +262,44 @@ class NestedCSR:
         self.offsets = np.empty(total_groups + 1, dtype=OFFSET_DTYPE)
         self.offsets[0] = 0
         np.cumsum(counts, out=self.offsets[1:])
+
+    @classmethod
+    def from_sorted_groups(
+        cls,
+        num_bound: int,
+        level_domains: Sequence[int],
+        group_ids: np.ndarray,
+    ) -> "NestedCSR":
+        """Build a nested CSR whose entries are already in index order.
+
+        The incremental-maintenance path merges an index's surviving entries
+        with its sorted delta outside the CSR (see
+        :func:`merge_sorted_runs`); this constructor then installs the
+        offsets over the pre-sorted deepest-level ``group_ids`` without
+        re-running the O(n log n) lexsort.  ``order`` is the identity
+        permutation because the caller's payload arrays are already sorted.
+        """
+        self = object.__new__(cls)
+        self.num_bound = int(num_bound)
+        self.level_domains = [int(d) for d in level_domains]
+        self.num_levels = len(self.level_domains)
+        group_ids = np.asarray(group_ids, dtype=np.int64)
+        num_entries = len(group_ids)
+        self.num_entries = num_entries
+        per_bound = 1
+        for domain in self.level_domains:
+            per_bound *= domain
+        self._per_bound = per_bound
+        total_groups = self.num_bound * per_bound
+        self._total_groups = total_groups
+        if num_entries and np.any(group_ids[1:] < group_ids[:-1]):
+            raise IndexLookupError("from_sorted_groups requires sorted group IDs")
+        self.order = np.arange(num_entries, dtype=np.int64)
+        counts = np.bincount(group_ids, minlength=total_groups)
+        self.offsets = np.empty(total_groups + 1, dtype=OFFSET_DTYPE)
+        self.offsets[0] = 0
+        np.cumsum(counts, out=self.offsets[1:])
+        return self
 
     # ------------------------------------------------------------------
     # lookups

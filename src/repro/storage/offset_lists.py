@@ -26,19 +26,30 @@ import numpy as np
 from ..graph.types import PAGE_SIZE
 
 
+def bytes_needed_many(max_offsets: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`bytes_needed` over an array of per-page maxima.
+
+    The single definition of the paged offset width: the scalar helper and
+    the paged accounting both derive from this threshold ladder.
+    """
+    maxima = np.asarray(max_offsets, dtype=np.int64)
+    widths = np.ones(len(maxima), dtype=np.int64)
+    limit = 1 << 8
+    while True:
+        above = maxima >= limit
+        if not above.any():
+            break
+        widths[above] += 1
+        limit <<= 8
+    return widths
+
+
 def bytes_needed(max_offset: int) -> int:
     """Number of bytes needed to store offsets up to ``max_offset``.
 
     Always at least 1; 255 fits in one byte, 65535 in two, and so on.
     """
-    if max_offset < 0:
-        return 1
-    width = 1
-    limit = 1 << 8
-    while max_offset >= limit:
-        width += 1
-        limit <<= 8
-    return width
+    return int(bytes_needed_many(np.asarray([max_offset]))[0])
 
 
 class OffsetLists:
@@ -60,24 +71,33 @@ class OffsetLists:
         self._nbytes = self._compute_paged_bytes()
 
     def _compute_paged_bytes(self) -> int:
-        """Memory charge of the paged fixed-width offset layout."""
+        """Memory charge of the paged fixed-width offset layout.
+
+        Entries arrive grouped by bound element (CSR order), so page IDs are
+        non-decreasing: per-page maxima reduce over contiguous runs
+        (``np.maximum.reduceat``) and the byte width per page is a small
+        threshold ladder — no Python loop over pages.
+        """
         if len(self.offsets) == 0:
             return 0
         pages = self._bound_of_entry // PAGE_SIZE
-        total = 0
-        # Entries arrive grouped by bound element (CSR order), so page IDs are
-        # non-decreasing and a single pass over page boundaries suffices.
-        unique_pages, first_positions = np.unique(pages, return_index=True)
-        boundaries = np.append(first_positions, len(self.offsets))
-        for page_index in range(len(unique_pages)):
-            start = boundaries[page_index]
-            end = boundaries[page_index + 1]
-            width = bytes_needed(int(self.offsets[start:end].max()))
-            total += width * (end - start)
-        return total
+        changes = np.nonzero(pages[1:] != pages[:-1])[0] + 1
+        starts = np.concatenate([[0], changes])
+        sizes = np.diff(np.concatenate([starts, [len(self.offsets)]]))
+        maxima = np.maximum.reduceat(self.offsets.astype(np.int64), starts)
+        return int((bytes_needed_many(maxima) * sizes).sum())
 
     def __len__(self) -> int:
         return len(self.offsets)
+
+    @property
+    def bound_of_entry(self) -> np.ndarray:
+        """Bound element ID of every entry, in index position order.
+
+        Exposed for the incremental maintenance merge, which resolves the
+        surviving entries' primary positions per bound element.
+        """
+        return self._bound_of_entry
 
     def slice(self, start: int, end: int) -> np.ndarray:
         """Return the offsets for a CSR group range."""

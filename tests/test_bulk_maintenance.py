@@ -1,0 +1,342 @@
+"""Tests for columnar bulk maintenance: delta buffers, incremental merges.
+
+Covers the maintenance-churn guarantees of the columnar update path:
+
+* ``merge_sorted_runs`` (the vectorized splice) against a lexsort oracle,
+  on both the packed-composite fast path and the lexsort fallback;
+* randomized interleaved bulk inserts/deletes + flushes asserting that the
+  incremental merge is byte-identical (CSR offsets, ID lists, offset lists)
+  to the rebuild-from-scratch oracle across all four index kinds (primary
+  forward/backward, secondary vertex-partitioned, secondary
+  edge-partitioned);
+* engine-vs-naive query equivalence on the mutated graph;
+* bulk APIs vs scalar wrappers vs the legacy tuple-at-a-time buffering.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Database, Direction, EdgeAdjacencyType
+from repro.errors import MaintenanceError
+from repro.graph.generators import FinancialGraphSpec, generate_financial_graph
+from repro.index.config import IndexConfig
+from repro.index.views import OneHopView, TwoHopView
+from repro.predicates import Predicate, cmp, prop
+from repro.query.naive import NaiveMatcher
+from repro.query.pattern import QueryGraph
+from repro.storage.csr import NestedCSR, merge_sorted_runs
+from repro.storage.sort_keys import SortKey
+
+
+def small_financial_graph(num_vertices=60, num_edges=240, seed=31):
+    return generate_financial_graph(
+        FinancialGraphSpec(
+            num_vertices=num_vertices,
+            num_edges=num_edges,
+            num_cities=5,
+            skew=0.3,
+            seed=seed,
+        )
+    )
+
+
+def database_with_secondary_indexes(graph) -> Database:
+    """One VP index (own sort keys) + one EP index over a date window."""
+    db = Database(graph)
+    db.create_vertex_index(
+        OneHopView("BigWire", predicate=Predicate.of(cmp(prop("eadj", "amt"), ">", 500))),
+        directions=(Direction.FORWARD,),
+        config=IndexConfig(
+            partition_keys=(),
+            sort_keys=(SortKey.edge_property("date"), SortKey.neighbour_id()),
+        ),
+        name="BigWire",
+    )
+    view = TwoHopView(
+        "EPd",
+        EdgeAdjacencyType.DST_FW,
+        Predicate.of(
+            cmp(prop("eb", "date"), "<", prop("eadj", "date")),
+            cmp(prop("eadj", "date"), "<", prop("eb", "date"), offset=400.0),
+        ),
+    )
+    db.create_edge_index(view, config=IndexConfig.flat(), name="EPd")
+    return db
+
+
+def assert_stores_identical(db_a: Database, db_b: Database) -> None:
+    """Byte-identical graphs and indexes across all four index kinds."""
+    ga, gb = db_a.graph, db_b.graph
+    assert np.array_equal(ga.edge_src, gb.edge_src)
+    assert np.array_equal(ga.edge_dst, gb.edge_dst)
+    assert np.array_equal(ga.edge_labels, gb.edge_labels)
+    for name in ga.schema.edge_property_names:
+        col_a, col_b = ga.edge_props.column(name), gb.edge_props.column(name)
+        if isinstance(col_a, list):
+            assert col_a == col_b, name
+        else:
+            assert np.array_equal(col_a, col_b, equal_nan=True), name
+    for direction in (Direction.FORWARD, Direction.BACKWARD):
+        ia = db_a.primary_index.for_direction(direction)
+        ib = db_b.primary_index.for_direction(direction)
+        assert np.array_equal(ia.csr.offsets, ib.csr.offsets)
+        assert np.array_equal(ia.id_lists.edge_ids, ib.id_lists.edge_ids)
+        assert np.array_equal(ia.id_lists.nbr_ids, ib.id_lists.nbr_ids)
+        assert ia.nbytes() == ib.nbytes()
+    assert len(db_a.store.vertex_indexes) == len(db_b.store.vertex_indexes)
+    for ia, ib in zip(db_a.store.vertex_indexes, db_b.store.vertex_indexes):
+        assert np.array_equal(ia.csr.offsets, ib.csr.offsets)
+        assert np.array_equal(ia.offset_lists.offsets, ib.offset_lists.offsets)
+        assert np.array_equal(ia.offset_lists.bound_of_entry, ib.offset_lists.bound_of_entry)
+        assert ia.nbytes() == ib.nbytes()
+    assert len(db_a.store.edge_indexes) == len(db_b.store.edge_indexes)
+    for ia, ib in zip(db_a.store.edge_indexes, db_b.store.edge_indexes):
+        assert np.array_equal(ia.csr.offsets, ib.csr.offsets)
+        assert np.array_equal(ia.offset_lists.offsets, ib.offset_lists.offsets)
+        assert np.array_equal(ia.offset_lists.bound_of_entry, ib.offset_lists.bound_of_entry)
+        assert ia.nbytes() == ib.nbytes()
+
+
+def random_batch(rng, num_vertices, count, with_props=True):
+    src = rng.integers(0, num_vertices, size=count)
+    dst = rng.integers(0, num_vertices, size=count)
+    if not with_props:
+        return src, dst, None
+    return src, dst, dict(
+        amt=rng.integers(1, 1000, size=count),
+        date=rng.integers(0, 1800, size=count),
+        currency=rng.integers(0, 4, size=count),
+    )
+
+
+class TestMergeSortedRuns:
+    def _oracle(self, base_keys, delta_keys, base_first):
+        indicator = np.concatenate(
+            [np.zeros(len(base_keys[0]), int), np.ones(len(delta_keys[0]), int)]
+        )
+        if not base_first:
+            indicator = 1 - indicator
+        stacked = [
+            np.concatenate([b, d]) for b, d in zip(base_keys, delta_keys)
+        ]
+        order = np.lexsort(tuple([indicator] + list(reversed(stacked))))
+        inverse = np.empty(len(order), dtype=np.int64)
+        inverse[order] = np.arange(len(order))
+        return inverse[: len(base_keys[0])], inverse[len(base_keys[0]) :]
+
+    @pytest.mark.parametrize("base_first", [True, False])
+    def test_random_int_keys_match_lexsort_oracle(self, base_first):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            nb, nd = int(rng.integers(0, 40)), int(rng.integers(0, 40))
+            def run(n):
+                keys = [rng.integers(0, 6, size=n), rng.integers(0, 4, size=n)]
+                order = np.lexsort(tuple(reversed(keys)))
+                return [k[order] for k in keys]
+            base, delta = run(nb), run(nd)
+            got = merge_sorted_runs(base, delta, base_first_on_ties=base_first)
+            want = self._oracle(base, delta, base_first)
+            assert got[0].tolist() == want[0].tolist()
+            assert got[1].tolist() == want[1].tolist()
+
+    def test_huge_domain_uses_fallback_and_matches(self):
+        # int64 null markers blow up the packed domain: the lexsort fallback
+        # must produce the same merge.
+        null = np.iinfo(np.int64).max
+        base = [np.array([0, 0, 1, 1]), np.array([5, null, 2, null])]
+        delta = [np.array([0, 1, 1]), np.array([5, 1, null])]
+        got = merge_sorted_runs(base, delta)
+        want = self._oracle(base, delta, True)
+        assert got[0].tolist() == want[0].tolist()
+        assert got[1].tolist() == want[1].tolist()
+
+    def test_float_keys_rank_encoded(self):
+        base = [np.array([0, 0, 2]), np.array([0.5, 1.5, np.inf])]
+        delta = [np.array([0, 2]), np.array([1.0, 0.25])]
+        got = merge_sorted_runs(base, delta)
+        want = self._oracle(base, delta, True)
+        assert got[0].tolist() == want[0].tolist()
+        assert got[1].tolist() == want[1].tolist()
+
+    def test_empty_runs(self):
+        base = [np.array([1, 2])]
+        empty = [np.empty(0, dtype=np.int64)]
+        b, d = merge_sorted_runs(base, empty)
+        assert b.tolist() == [0, 1] and d.tolist() == []
+        b, d = merge_sorted_runs(empty, base)
+        assert b.tolist() == [] and d.tolist() == [0, 1]
+
+    def test_from_sorted_groups_rejects_unsorted(self):
+        from repro.errors import IndexLookupError
+
+        with pytest.raises(IndexLookupError):
+            NestedCSR.from_sorted_groups(4, [], np.array([2, 1]))
+
+
+class TestIncrementalEqualsScratch:
+    def test_randomized_churn_identical_across_index_kinds(self):
+        graph = small_financial_graph()
+        db_inc = database_with_secondary_indexes(graph)
+        db_scr = database_with_secondary_indexes(graph)
+        m_inc = db_inc.maintainer(merge_threshold=10**9)
+        m_scr = db_scr.maintainer(merge_threshold=10**9)
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            count = int(rng.integers(5, 40))
+            # Every other round omits the properties so the pending edges
+            # carry nulls, exercising the null sort markers (rank-encoded
+            # splice keys) and the null partitions.
+            src, dst, props = random_batch(rng, 60, count, with_props=bool(rng.integers(0, 2)))
+            for maintainer in (m_inc, m_scr):
+                maintainer.insert_edges(src, dst, "Wire", properties=props)
+            num_deletes = int(rng.integers(0, 15))
+            if num_deletes:
+                deletes = rng.choice(db_inc.graph.num_edges, size=num_deletes, replace=False)
+                for maintainer in (m_inc, m_scr):
+                    maintainer.delete_edges(deletes)
+            m_inc.flush(incremental=True)
+            m_scr.flush(incremental=False)
+            assert_stores_identical(db_inc, db_scr)
+
+    def test_churn_with_partitioned_primary(self):
+        # Default primary config partitions by edge label: exercises the
+        # nested-level group folding in the splice.
+        graph = small_financial_graph(seed=5)
+        db_inc, db_scr = Database(graph), Database(graph)
+        m_inc = db_inc.maintainer(merge_threshold=10**9)
+        m_scr = db_scr.maintainer(merge_threshold=10**9)
+        rng = np.random.default_rng(11)
+        for _ in range(3):
+            count = int(rng.integers(10, 30))
+            src, dst, props = random_batch(rng, 60, count)
+            labels = np.where(rng.integers(0, 2, size=count) == 0, "Wire", "DirDeposit")
+            deletes = rng.choice(db_inc.graph.num_edges, size=5, replace=False)
+            for maintainer in (m_inc, m_scr):
+                maintainer.insert_edges(src, dst, labels.tolist(), properties=props)
+                maintainer.delete_edges(deletes)
+            m_inc.flush(incremental=True)
+            m_scr.flush(incremental=False)
+            assert_stores_identical(db_inc, db_scr)
+
+    def test_tombstone_only_flush(self):
+        graph = small_financial_graph()
+        db_inc = database_with_secondary_indexes(graph)
+        db_scr = database_with_secondary_indexes(graph)
+        m_inc = db_inc.maintainer(merge_threshold=10**9)
+        m_scr = db_scr.maintainer(merge_threshold=10**9)
+        for maintainer in (m_inc, m_scr):
+            maintainer.delete_edges(np.array([0, 3, 17, 99]))
+        m_inc.flush(incremental=True)
+        m_scr.flush(incremental=False)
+        assert db_inc.graph.num_edges == graph.num_edges - 4
+        assert_stores_identical(db_inc, db_scr)
+
+
+class TestQueryEquivalenceAfterChurn:
+    def test_engine_matches_naive_on_mutated_graph(self):
+        graph = small_financial_graph(num_edges=160)
+        db = database_with_secondary_indexes(graph)
+        maintainer = db.maintainer(merge_threshold=10**9)
+        rng = np.random.default_rng(13)
+        for _ in range(3):
+            src, dst, props = random_batch(rng, 60, 25)
+            maintainer.insert_edges(src, dst, "Wire", properties=props)
+            maintainer.delete_edges(rng.choice(db.graph.num_edges, size=8, replace=False))
+            maintainer.flush()
+
+        query = QueryGraph("two-hop")
+        for name in ("a", "b", "c"):
+            query.add_vertex(name, label="Account")
+        query.add_edge("a", "b", name="e1", label="Wire")
+        query.add_edge("b", "c", name="e2")
+        query.add_predicate(cmp(prop("e1", "amt"), ">", 300))
+        assert db.count(query) == NaiveMatcher(db.graph).count(query)
+
+
+class TestBulkVsScalarVsLegacy:
+    def test_three_buffering_paths_produce_identical_state(self):
+        graph = small_financial_graph(num_edges=120)
+        rng = np.random.default_rng(17)
+        src, dst, props = random_batch(rng, 60, 30)
+        deletes = np.array([2, 40, 41, 99])
+
+        db_bulk = database_with_secondary_indexes(graph)
+        bulk = db_bulk.maintainer(merge_threshold=10**9)
+        bulk.insert_edges(src, dst, "Wire", properties=props)
+        bulk.delete_edges(deletes)
+        bulk.flush()
+
+        db_scalar = database_with_secondary_indexes(graph)
+        scalar = db_scalar.maintainer(merge_threshold=10**9)
+        for i in range(len(src)):
+            scalar.insert_edge(
+                int(src[i]), int(dst[i]), "Wire",
+                amt=int(props["amt"][i]), date=int(props["date"][i]),
+                currency=int(props["currency"][i]),
+            )
+        for edge_id in deletes:
+            scalar.delete_edge(int(edge_id))
+        scalar.flush()
+
+        db_legacy = database_with_secondary_indexes(graph)
+        legacy = db_legacy.maintainer(merge_threshold=10**9, columnar=False)
+        assert not legacy.incremental
+        for i in range(len(src)):
+            legacy.insert_edge(
+                int(src[i]), int(dst[i]), "Wire",
+                amt=int(props["amt"][i]), date=int(props["date"][i]),
+                currency=int(props["currency"][i]),
+            )
+        for edge_id in deletes:
+            legacy.delete_edge(int(edge_id))
+        legacy.flush()
+
+        assert_stores_identical(db_bulk, db_scalar)
+        assert_stores_identical(db_bulk, db_legacy)
+
+    def test_stats_match_legacy_counting(self):
+        graph = small_financial_graph(num_edges=120)
+        db_a = database_with_secondary_indexes(graph)
+        db_b = database_with_secondary_indexes(graph)
+        bulk = db_a.maintainer(merge_threshold=10**9)
+        legacy = db_b.maintainer(merge_threshold=10**9, columnar=False)
+        rng = np.random.default_rng(19)
+        src, dst, props = random_batch(rng, 60, 12)
+        bulk.insert_edges(src, dst, "Wire", properties=props)
+        for i in range(len(src)):
+            legacy.insert_edge(
+                int(src[i]), int(dst[i]), "Wire",
+                amt=int(props["amt"][i]), date=int(props["date"][i]),
+                currency=int(props["currency"][i]),
+            )
+        for stat in (
+            "inserted_edges",
+            "buffered_operations",
+            "secondary_predicate_evaluations",
+            "edge_partitioned_probes",
+        ):
+            assert getattr(bulk.stats, stat) == getattr(legacy.stats, stat), stat
+
+    def test_bulk_validation_errors(self):
+        graph = small_financial_graph()
+        maintainer = Database(graph).maintainer()
+        with pytest.raises(MaintenanceError):
+            maintainer.insert_edges([0, 1], [1], "Wire")
+        with pytest.raises(MaintenanceError):
+            maintainer.insert_edges([0], [10_000], "Wire")
+        with pytest.raises(MaintenanceError):
+            maintainer.insert_edges([0], [1], "Nope")
+        with pytest.raises(MaintenanceError):
+            maintainer.delete_edges([10_000_000])
+        legacy = Database(graph).maintainer(columnar=False)
+        with pytest.raises(MaintenanceError):
+            legacy.insert_edges([0], [1], "Wire")
+
+    def test_merge_threshold_triggers_bulk_flush(self):
+        graph = small_financial_graph()
+        db = Database(graph)
+        maintainer = db.maintainer(merge_threshold=6)
+        src = np.arange(5)
+        maintainer.insert_edges(src, src + 1, "Wire", properties=dict(amt=np.ones(5, int)))
+        assert maintainer.stats.merges == 1
+        assert db.graph.num_edges == graph.num_edges + 5

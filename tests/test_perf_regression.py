@@ -4,9 +4,10 @@ Skipped by default so the tier-1 suite stays fast; enable with::
 
     RUN_PERF_BENCH=1 PYTHONPATH=src python -m pytest -m perf tests/test_perf_regression.py
 
-Runs ``benchmarks/check_regression.py``: the EXTEND throughput benchmark is
-executed and the vectorized-vs-rowwise speedups are compared against the
-checked-in ``benchmarks/baseline_extend_throughput.json`` floors.
+Runs ``benchmarks/check_regression.py``: the EXTEND + maintenance throughput
+benchmark is executed and the vectorized-vs-rowwise (and columnar-vs-legacy
+maintenance) speedups are compared against the checked-in
+``benchmarks/baseline_extend_throughput.json`` floors.
 """
 
 from __future__ import annotations
