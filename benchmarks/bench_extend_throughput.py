@@ -18,7 +18,16 @@ batch-at-a-time gather path (the default), plus the write-path counterpart:
   once with the legacy tuple-at-a-time buffering + rebuild-from-scratch
   merge (``columnar=False``) and once with the columnar delta buffers +
   incremental merge (the default); reported as buffered edges/sec, with the
-  merge seconds of both paths recorded alongside.
+  merge seconds of both paths recorded alongside,
+
+plus the parallel-execution counterpart:
+
+* ``parallel_scan``  — the two-leg WCOJ plan over the *full* vertex domain,
+  executed once on the serial executor and once on the morsel-driven
+  dispatcher with ``PARALLEL_WORKERS`` threads; the speedup is
+  serial/parallel wall-clock.  The row records ``available_cpus`` so the
+  regression gate can skip the floor on machines that cannot physically run
+  the workers concurrently (``requires_cpus`` in the baseline).
 
 The generated graphs have >= 100k edges at the default scale so the numbers
 are dominated by the steady-state loop, not setup.
@@ -61,8 +70,9 @@ from repro.graph.generators import (  # noqa: E402
 from repro.index.config import IndexConfig  # noqa: E402
 from repro.index.index_store import IndexStore  # noqa: E402
 from repro.index.primary import PrimaryIndex  # noqa: E402
+from repro.bench.harness import available_cpus  # noqa: E402
 from repro.predicates import CompareOp, Predicate, cmp, prop  # noqa: E402
-from repro.query.executor import Executor  # noqa: E402
+from repro.query.executor import Executor, MorselExecutor  # noqa: E402
 from repro.query.operators import (  # noqa: E402
     ExtendIntersect,
     ExtensionLeg,
@@ -90,6 +100,9 @@ NUM_CITIES = 40
 MAINTENANCE_INSERT_FRACTION = 0.25
 #: Width of the maintenance scenario's edge-partitioned date window (days).
 MAINTENANCE_DATE_WINDOW = 50.0
+#: Thread-pool width of the parallel-scan scenario (the baseline's floor is
+#: calibrated for this worker count; see ``requires_cpus`` in the baseline).
+PARALLEL_WORKERS = 4
 
 REPETITIONS = int(os.environ.get("BENCH_REPETITIONS", "2"))
 
@@ -271,6 +284,79 @@ def _plan_multi_extend(graph, store, city_key, vectorized):
             ),
         ],
     )
+
+
+def _plan_parallel_scan(store):
+    """The two-leg WCOJ plan over the full vertex domain (vectorized path).
+
+    Unlike ``extend_2leg`` there is no scan cap: both sides of this scenario
+    run the batch kernels, and the full domain is what the morsel dispatcher
+    partitions.
+    """
+    query = QueryGraph("parallel_scan")
+    for name in ("a", "c", "b"):
+        query.add_vertex(name)
+    query.add_edge("a", "c", name="ec")
+    query.add_edge("a", "b", name="e0")
+    query.add_edge("c", "b", name="e1")
+    return QueryPlan(
+        query=query,
+        operators=[
+            ScanVertices(var="a"),
+            ExtendIntersect(
+                target_var="c",
+                legs=[_leg(store, Direction.FORWARD, "a", "c", "ec")],
+            ),
+            ExtendIntersect(
+                target_var="b",
+                legs=[
+                    _leg(store, Direction.FORWARD, "a", "b", "e0"),
+                    _leg(store, Direction.FORWARD, "c", "b", "e1"),
+                ],
+            ),
+        ],
+    )
+
+
+def _parallel_scan_scenario_row(graph, store) -> Dict:
+    """Serial executor vs morsel-driven dispatcher on the same plan.
+
+    The ``rowwise_*`` keys hold the serial run and the ``vectorized_*`` keys
+    the parallel run, mirroring the other scenarios' baseline-vs-tuned key
+    layout so the regression gate reads every row the same way.
+    """
+    serial_seconds = parallel_seconds = float("inf")
+    serial_edges = parallel_edges = 0
+    for _ in range(max(REPETITIONS, 1)):
+        plan = _plan_parallel_scan(store)
+        executor = Executor(graph)
+        started = time.perf_counter()
+        serial_edges = executor.run(plan).count
+        serial_seconds = min(serial_seconds, time.perf_counter() - started)
+
+        plan = _plan_parallel_scan(store)
+        dispatcher = MorselExecutor(graph, num_workers=PARALLEL_WORKERS)
+        started = time.perf_counter()
+        parallel_edges = dispatcher.run(plan).count
+        parallel_seconds = min(parallel_seconds, time.perf_counter() - started)
+    if serial_edges != parallel_edges:
+        raise RuntimeError(
+            f"parallel_scan: paths disagree ({serial_edges} vs {parallel_edges})"
+        )
+    return {
+        "extended_edges": int(parallel_edges),
+        "workers": PARALLEL_WORKERS,
+        "available_cpus": available_cpus(),
+        "rowwise_seconds": serial_seconds,
+        "vectorized_seconds": parallel_seconds,
+        "rowwise_eps": serial_edges / serial_seconds if serial_seconds else 0.0,
+        "vectorized_eps": (
+            parallel_edges / parallel_seconds if parallel_seconds else 0.0
+        ),
+        "speedup": (
+            serial_seconds / parallel_seconds if parallel_seconds else float("inf")
+        ),
+    }
 
 
 def _build_maintenance_db() -> Database:
@@ -481,6 +567,9 @@ def run_benchmarks() -> Dict:
             ),
         }
     report["scenarios"]["maintenance"] = _maintenance_scenario_row()
+    report["scenarios"]["parallel_scan"] = _parallel_scan_scenario_row(
+        labelled_graph, labelled_store
+    )
     return report
 
 

@@ -60,6 +60,7 @@ from .index import (
 from .query import (
     Database,
     Executor,
+    MorselExecutor,
     NaiveMatcher,
     Optimizer,
     Predicate,
@@ -81,6 +82,7 @@ __all__ = [
     "EdgePartitionedIndex",
     "ExecutionError",
     "Executor",
+    "MorselExecutor",
     "GraphBuildError",
     "GraphBuilder",
     "GraphSchema",

@@ -13,6 +13,7 @@ same way:
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
@@ -25,6 +26,21 @@ from ..query.engine import Database
 from ..storage.partition_keys import PartitionKey
 from ..storage.sort_keys import SortKey
 from ..workloads import fraud
+
+
+def available_cpus() -> int:
+    """Number of CPU cores this process may actually use.
+
+    Prefers the scheduler affinity mask (respects container/cgroup CPU
+    pinning) over the raw core count.  The parallel-execution benchmark
+    records this next to its measured speedup so the regression gate can
+    tell "the dispatcher regressed" apart from "the machine cannot run four
+    workers at once" (``requires_cpus`` in the baseline file).
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
 
 
 @dataclass

@@ -21,6 +21,7 @@ Extension predicates handed to the store use canonical variable names:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -134,35 +135,153 @@ class AccessPath:
         )
 
 
+@dataclass(frozen=True)
+class StoreState:
+    """One immutable, internally consistent generation of a store's contents.
+
+    The graph, the primary index, the statistics, and the secondary-index
+    catalogs of one generation always describe the *same* edge set.  The
+    store swaps generations with a single attribute assignment (atomic under
+    CPython), so a reader that captures ``state`` (via
+    :meth:`IndexStore.snapshot`) can never observe a graph from one flush
+    paired with indexes from another.
+    """
+
+    graph: PropertyGraph
+    primary: PrimaryIndex
+    statistics: GraphStatistics
+    vertex_indexes: Dict[str, VertexPartitionedIndex]
+    edge_indexes: Dict[str, EdgePartitionedIndex]
+
+
 class IndexStore:
-    """Catalog of the primary index and all secondary A+ indexes."""
+    """Catalog of the primary index and all secondary A+ indexes.
+
+    Snapshot / flush contract
+    -------------------------
+
+    All mutable content lives in one immutable :class:`StoreState` held in
+    ``self._state``.  Writers (index registration, DDL, and most importantly
+    :meth:`~repro.index.maintenance.IndexMaintainer.flush`) build a complete
+    replacement state off to the side and install it with
+    :meth:`install_state` — a single reference assignment.  Readers that need
+    a coherent multi-attribute view (plan + execute a query while another
+    thread may flush) call :meth:`snapshot`, which returns a read-only
+    ``IndexStore`` view pinned to the captured state.  Consequences:
+
+    * a query planned and executed against one snapshot sees either the
+      entirely pre-flush or the entirely post-flush store, never a partially
+      merged index or a graph/index generation mix;
+    * index objects and graphs are immutable after construction, so pinned
+      snapshots stay valid (and correct) for as long as a caller holds them.
+      (``Database.reconfigure_primary`` honours this by installing a *new*
+      ``PrimaryIndex`` through :meth:`install_state`; calling the in-place
+      ``PrimaryIndex.reconfigure`` directly on a shared store forfeits the
+      pinned-snapshot guarantee for that primary.)
+
+    The guarantee is **readers versus one writer**.  Writers — index
+    registration/drop, ``Database.reconfigure_primary``, and maintenance
+    flushes — each perform an unsynchronized read-modify-write of the state,
+    so two *concurrent* writers can lose one of the two updates (e.g. an
+    index registered during a flush vanishes when the flush installs its
+    replacement state).  Serialize all DDL and maintenance on one thread;
+    queries may run concurrently with that single writer without restriction.
+    """
 
     def __init__(self, graph: PropertyGraph, primary: PrimaryIndex) -> None:
-        self.graph = graph
-        self.primary = primary
-        self.statistics = GraphStatistics(graph)
-        self._vertex_indexes: Dict[str, VertexPartitionedIndex] = {}
-        self._edge_indexes: Dict[str, EdgePartitionedIndex] = {}
+        self._state = StoreState(
+            graph=graph,
+            primary=primary,
+            statistics=GraphStatistics(graph),
+            vertex_indexes={},
+            edge_indexes={},
+        )
+
+    # ------------------------------------------------------------------
+    # state access and atomic replacement
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> StoreState:
+        """The current generation (one coherent read)."""
+        return self._state
+
+    @property
+    def graph(self) -> PropertyGraph:
+        return self._state.graph
+
+    @property
+    def primary(self) -> PrimaryIndex:
+        return self._state.primary
+
+    @property
+    def statistics(self) -> GraphStatistics:
+        return self._state.statistics
+
+    @property
+    def _vertex_indexes(self) -> Dict[str, VertexPartitionedIndex]:
+        return self._state.vertex_indexes
+
+    @property
+    def _edge_indexes(self) -> Dict[str, EdgePartitionedIndex]:
+        return self._state.edge_indexes
+
+    def install_state(
+        self,
+        graph: PropertyGraph,
+        primary: PrimaryIndex,
+        statistics: GraphStatistics,
+        vertex_indexes: Dict[str, VertexPartitionedIndex],
+        edge_indexes: Dict[str, EdgePartitionedIndex],
+    ) -> None:
+        """Atomically replace the whole store state (the flush swap)."""
+        self._replace(
+            graph=graph,
+            primary=primary,
+            statistics=statistics,
+            vertex_indexes=vertex_indexes,
+            edge_indexes=edge_indexes,
+        )
+
+    def snapshot(self) -> "IndexStore":
+        """A read view of the store pinned to the current generation.
+
+        The view exposes the full read API (access-path matching, memory
+        reporting, ...) but never follows later :meth:`install_state` swaps.
+        """
+        view = IndexStore.__new__(IndexStore)
+        view._state = self._state
+        return view
 
     # ------------------------------------------------------------------
     # registration
     # ------------------------------------------------------------------
+    def _replace(self, **changes) -> None:
+        """Install a state derived from the current one (one atomic swap)."""
+        for catalog in ("vertex_indexes", "edge_indexes"):
+            if catalog in changes:
+                changes[catalog] = dict(changes[catalog])
+        self._state = dataclasses.replace(self._state, **changes)
+
     def register_vertex_index(self, index: VertexPartitionedIndex) -> None:
         if index.name in self._vertex_indexes:
             raise IndexConfigError(f"duplicate vertex-partitioned index {index.name!r}")
-        self._vertex_indexes[index.name] = index
+        self._replace(vertex_indexes={**self._vertex_indexes, index.name: index})
 
     def register_edge_index(self, index: EdgePartitionedIndex) -> None:
         if index.name in self._edge_indexes:
             raise IndexConfigError(f"duplicate edge-partitioned index {index.name!r}")
-        self._edge_indexes[index.name] = index
+        self._replace(edge_indexes={**self._edge_indexes, index.name: index})
 
     def drop_index(self, name: str) -> None:
         if name in self._vertex_indexes:
-            del self._vertex_indexes[name]
+            catalog = dict(self._vertex_indexes)
+            del catalog[name]
+            self._replace(vertex_indexes=catalog)
             return
         if name in self._edge_indexes:
-            del self._edge_indexes[name]
+            catalog = dict(self._edge_indexes)
+            del catalog[name]
+            self._replace(edge_indexes=catalog)
             return
         raise IndexConfigError(f"no secondary index named {name!r}")
 

@@ -41,6 +41,20 @@ Between flushes the buffered work faithfully models the per-insert cost that
 the paper's maintenance micro-benchmark (Section V-F) measures: primary page
 buffer updates, one secondary-view predicate evaluation per (edge, index),
 and the two delta queries of each edge-partitioned index.
+
+Concurrency: the snapshot/flush contract
+----------------------------------------
+
+Both merge strategies build the *entire* replacement state — graph, primary
+index, statistics, and every secondary index — off to the side and install
+it into the :class:`~repro.index.index_store.IndexStore` with one atomic
+:meth:`~repro.index.index_store.IndexStore.install_state` swap.  Queries
+capture a :meth:`~repro.index.index_store.IndexStore.snapshot` when they are
+planned (``Database.run`` does this automatically), so a query racing a
+flush sees either the complete pre-flush store or the complete post-flush
+store — never a partially merged index, and never a graph of one generation
+paired with indexes of another.  The maintainer itself is single-writer: do
+not call ``insert_edges``/``flush`` from several threads concurrently.
 """
 
 from __future__ import annotations
@@ -718,11 +732,16 @@ class IndexMaintainer:
             )
             for name, index in store._edge_indexes.items()
         }
-        store.graph = new_graph
-        store.primary = new_primary
-        store.statistics = GraphStatistics(new_graph)
-        store._vertex_indexes = new_vertex
-        store._edge_indexes = new_edge
+        # One atomic swap: concurrent readers holding a store snapshot keep
+        # the complete pre-merge generation; new snapshots see the complete
+        # post-merge generation (see IndexStore's snapshot/flush contract).
+        store.install_state(
+            graph=new_graph,
+            primary=new_primary,
+            statistics=GraphStatistics(new_graph),
+            vertex_indexes=new_vertex,
+            edge_indexes=new_edge,
+        )
 
     def _sorted_run_keys(
         self,
@@ -1125,12 +1144,15 @@ class IndexMaintainer:
             )
 
         # Swap the rebuilt state into the existing store object so callers
-        # holding a reference observe the merged data.
-        store.graph = new_graph
-        store.primary = new_primary
-        store.statistics = new_store.statistics
-        store._vertex_indexes = new_store._vertex_indexes
-        store._edge_indexes = new_store._edge_indexes
+        # holding a reference observe the merged data — atomically, so a
+        # concurrent reader's snapshot is always one complete generation.
+        store.install_state(
+            graph=new_graph,
+            primary=new_primary,
+            statistics=new_store.statistics,
+            vertex_indexes=new_store._vertex_indexes,
+            edge_indexes=new_store._edge_indexes,
+        )
 
 
 def _is_null(value, prop_def) -> bool:

@@ -1,8 +1,30 @@
-"""Query processing: patterns, predicates, operators, optimizer, executor."""
+"""Query processing: patterns, predicates, operators, optimizer, executor.
+
+Parallel execution
+------------------
+
+Query execution is serial by default and parallel on request:
+``Database.run(query, parallelism=N)`` (or the ``REPRO_PARALLELISM``
+environment variable, or ``Database(..., parallelism=N)``) dispatches the
+plan to the morsel-driven :class:`~repro.query.executor.MorselExecutor` when
+``N >= 2``.  The scan's vertex domain is split into contiguous range morsels;
+each morsel runs the *entire* operator pipeline — scan, extend/intersect,
+multi-extend, filter — on a worker thread (the numpy batch kernels release
+the GIL), with several serial-sized batches coalesced per kernel call; the
+per-morsel outputs are merged in ascending range order.
+
+**Determinism guarantee:** for any ``parallelism``, morsel size, and batch
+coalescing factor, the produced matches, their order, and the execution
+statistics are byte-identical to the serial run (``parallelism=1``, which is
+kept as the oracle).  This holds because every operator emits output rows in
+input-row order and the batch kernels are row-segmented, so batch and morsel
+boundaries can never change *what* is produced, only how it is grouped into
+batches in flight.
+"""
 
 from .binding import MatchBatch, concat_batches
 from .engine import Database, IndexCreationResult
-from .executor import Executor, QueryResult
+from .executor import Executor, MorselExecutor, QueryResult
 from .naive import NaiveMatcher
 from .operators import (
     ExecutionContext,
@@ -45,6 +67,7 @@ __all__ = [
     "Filter",
     "IndexCreationResult",
     "MatchBatch",
+    "MorselExecutor",
     "MultiExtend",
     "NaiveMatcher",
     "Optimizer",

@@ -19,11 +19,12 @@ Example:
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..errors import DDLParseError
+from ..errors import DDLParseError, ExecutionError
 from ..graph.graph import PropertyGraph
 from ..graph.types import Direction
 from ..index.config import IndexConfig
@@ -40,7 +41,7 @@ from ..index.primary import PrimaryIndex, ReconfigurationResult
 from ..index.vertex_partitioned import VertexPartitionedIndex
 from ..index.views import OneHopView, TwoHopView
 from ..storage.memory import MemoryReport
-from .executor import Executor, QueryResult
+from .executor import Executor, MorselExecutor, QueryResult
 from .optimizer import Optimizer
 from .pattern import QueryGraph
 from .plan import QueryPlan
@@ -55,18 +56,77 @@ class IndexCreationResult:
     indexed_edges: int
 
 
+#: Environment variable supplying the default worker count of ``Database.run``
+#: (used by CI to push the whole test suite through the parallel path).
+PARALLELISM_ENV_VAR = "REPRO_PARALLELISM"
+
+
 class Database:
-    """An in-memory GDBMS instance with a tunable A+ indexing subsystem."""
+    """An in-memory GDBMS instance with a tunable A+ indexing subsystem.
+
+    Parallel execution
+    ------------------
+
+    ``run``/``count`` accept a ``parallelism`` worker count.  With the
+    default of ``1`` the plan runs on the serial batch
+    :class:`~repro.query.executor.Executor` — the oracle path.  With
+    ``parallelism >= 2`` the plan runs on the morsel-driven
+    :class:`~repro.query.executor.MorselExecutor`: the scan's vertex domain
+    is split into contiguous range morsels, the full operator pipeline runs
+    per morsel on a thread pool (the numpy kernels release the GIL), and the
+    per-morsel outputs are merged in ascending range order.  The parallel
+    result is byte-identical to the serial one — same match rows, same
+    order, same :class:`~repro.query.operators.ExecutionStats` — so the knob
+    trades only wall-clock time, never semantics.  The per-instance default
+    comes from the constructor's ``parallelism`` or, failing that, the
+    ``REPRO_PARALLELISM`` environment variable.
+
+    Queries capture an atomic snapshot of the index store when planned, so
+    running queries concurrently with an
+    :class:`~repro.index.maintenance.IndexMaintainer` flush is safe: each
+    query sees one complete store generation, never a partially merged index.
+    """
 
     def __init__(
         self,
         graph: PropertyGraph,
         primary_config: Optional[IndexConfig] = None,
         batch_size: int = 1024,
+        parallelism: Optional[int] = None,
     ) -> None:
         self._primary = PrimaryIndex(graph, config=primary_config)
         self.store = IndexStore(graph, self._primary)
         self.batch_size = batch_size
+        self.parallelism = parallelism
+
+    def _resolve_parallelism(self, parallelism: Optional[int]) -> int:
+        """Effective worker count: call arg > instance default > env > 1."""
+        if parallelism is None:
+            parallelism = self.parallelism
+        if parallelism is None:
+            raw = os.environ.get(PARALLELISM_ENV_VAR, "").strip()
+            if raw:
+                try:
+                    parallelism = int(raw)
+                except ValueError as exc:
+                    raise ExecutionError(
+                        f"${PARALLELISM_ENV_VAR} must be an integer worker "
+                        f"count, got {raw!r}"
+                    ) from exc
+            else:
+                parallelism = 1
+        if parallelism < 1:
+            raise ExecutionError(f"parallelism must be >= 1, got {parallelism}")
+        return int(parallelism)
+
+    def _make_executor(
+        self, graph: PropertyGraph, workers: int
+    ) -> Union[Executor, MorselExecutor]:
+        if workers == 1:
+            return Executor(graph, batch_size=self.batch_size)
+        return MorselExecutor(
+            graph, batch_size=self.batch_size, num_workers=workers
+        )
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -80,8 +140,18 @@ class Database:
     def primary_index(self) -> PrimaryIndex:
         return self.store.primary
 
-    def executor(self) -> Executor:
-        return Executor(self.graph, batch_size=self.batch_size)
+    def executor(
+        self, parallelism: Optional[int] = None
+    ) -> Union[Executor, MorselExecutor]:
+        """An executor over the current graph (parallel when workers > 1).
+
+        The graph is read from one store snapshot; pair it with a plan
+        produced against the same generation (as :meth:`run` does) when
+        maintenance flushes may run concurrently.
+        """
+        return self._make_executor(
+            self.store.snapshot().graph, self._resolve_parallelism(parallelism)
+        )
 
     def optimizer(self) -> Optimizer:
         return Optimizer(self.store)
@@ -103,8 +173,30 @@ class Database:
     # index management
     # ------------------------------------------------------------------
     def reconfigure_primary(self, config: IndexConfig) -> ReconfigurationResult:
-        """Rebuild the primary A+ indexes under a new configuration."""
-        return self.store.primary.reconfigure(config)
+        """Rebuild the primary A+ indexes under a new configuration.
+
+        The replacement primary is built off to the side and installed with
+        one atomic store swap (like a maintenance flush), so a query racing
+        the reconfiguration snapshots either the old or the new primary —
+        never the forward index of one configuration paired with the
+        backward index of the other.
+        """
+        state = self.store.state
+        old_config = state.primary.config
+        started = time.perf_counter()
+        new_primary = PrimaryIndex(state.graph, config=config)
+        self.store.install_state(
+            graph=state.graph,
+            primary=new_primary,
+            statistics=state.statistics,
+            vertex_indexes=state.vertex_indexes,
+            edge_indexes=state.edge_indexes,
+        )
+        return ReconfigurationResult(
+            old_config=old_config,
+            new_config=config,
+            seconds=time.perf_counter() - started,
+        )
 
     def create_vertex_index(
         self,
@@ -178,19 +270,64 @@ class Database:
     # querying
     # ------------------------------------------------------------------
     def plan(self, query: QueryGraph) -> QueryPlan:
-        """Optimize a query into a physical plan."""
-        return self.optimizer().optimize(query)
+        """Optimize a query into a physical plan.
+
+        The plan is pinned to the store generation it was planned against
+        (``plan.store_snapshot``): running it later — even after maintenance
+        flushes — executes against that generation's graph, keeping the
+        plan's index references and the executed graph coherent.
+        """
+        snapshot = self.store.snapshot()
+        plan = Optimizer(snapshot).optimize(query)
+        plan.store_snapshot = snapshot
+        return plan
 
     def run(
-        self, query: Union[QueryGraph, QueryPlan], materialize: bool = False
+        self,
+        query: Union[QueryGraph, QueryPlan],
+        materialize: bool = False,
+        parallelism: Optional[int] = None,
     ) -> QueryResult:
-        """Plan (if needed) and execute a query."""
-        plan = query if isinstance(query, QueryPlan) else self.plan(query)
-        return self.executor().run(plan, materialize=materialize)
+        """Plan (if needed) and execute a query.
 
-    def count(self, query: Union[QueryGraph, QueryPlan]) -> int:
+        Args:
+            query: a query graph (planned here against an atomic store
+                snapshot) or an already-built plan, which is executed against
+                the generation pinned in its ``store_snapshot`` (its legs
+                reference that generation's indexes; executing it against a
+                newer graph would mix edge IDs across flush remappings).
+            materialize: also collect the matches as dictionaries.
+            parallelism: worker count; ``1`` (the default) runs serially,
+                ``>= 2`` runs the morsel-driven parallel executor.  The
+                output is byte-identical either way.
+        """
+        workers = self._resolve_parallelism(parallelism)
+        # Plan and execute against one coherent store generation so a
+        # concurrent maintenance flush cannot be observed half-merged: a
+        # pre-built plan supplies the generation it was planned against,
+        # otherwise the current generation is captured here.
+        if isinstance(query, QueryPlan):
+            plan = query
+            snapshot = (
+                plan.store_snapshot
+                if plan.store_snapshot is not None
+                else self.store.snapshot()
+            )
+        else:
+            snapshot = self.store.snapshot()
+            plan = Optimizer(snapshot).optimize(query)
+            plan.store_snapshot = snapshot
+        return self._make_executor(snapshot.graph, workers).run(
+            plan, materialize=materialize
+        )
+
+    def count(
+        self,
+        query: Union[QueryGraph, QueryPlan],
+        parallelism: Optional[int] = None,
+    ) -> int:
         """Number of matches of a query."""
-        return self.run(query).count
+        return self.run(query, parallelism=parallelism).count
 
     # ------------------------------------------------------------------
     # reporting
@@ -204,4 +341,19 @@ class Database:
 
     def describe(self) -> str:
         lines = [self.graph.describe(), self.store.describe()]
+        default = self._resolve_parallelism(None)
+        lines.append(
+            "Parallel execution:\n"
+            f"  default parallelism: {default} "
+            f"(constructor parallelism= or ${PARALLELISM_ENV_VAR}; "
+            "run()/count() accept a per-query override)\n"
+            "  parallelism=1 runs the serial batch executor (the oracle); "
+            ">=2 runs the\n"
+            "  morsel-driven dispatcher: contiguous vertex-range morsels of "
+            "the scan domain\n"
+            "  are executed through the full pipeline on a thread pool and "
+            "merged in range\n"
+            "  order — matches, order, and stats are byte-identical to the "
+            "serial run."
+        )
         return "\n".join(lines)

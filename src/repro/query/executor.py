@@ -1,18 +1,53 @@
-"""Plan execution.
+"""Plan execution: the serial executor and the morsel-driven dispatcher.
 
 The :class:`Executor` drives a :class:`~repro.query.plan.QueryPlan`'s operator
 pipeline over a property graph, producing partial-match batches and exposing
 convenience entry points for counting or collecting the matches.  Matching
 semantics is *homomorphism*: distinct query variables may bind to the same
 graph element unless the query predicate forbids it.
+
+Morsel-driven parallel execution
+--------------------------------
+
+:class:`MorselExecutor` parallelizes a plan the way morsel-driven schedulers
+(Leis et al.) do: the scan's candidate domain — the vertex-ID range of the
+leading :class:`~repro.query.operators.ScanVertices` — is split into
+contiguous *morsels*, and the **full operator pipeline** runs per morsel on a
+thread pool.  Every operator is already batch-at-a-time and stateless (the
+scan is cloned per morsel with an explicit ``vertex_range``; extension and
+filter operators share immutable configuration and index references), so no
+operator semantics change: each morsel's pipeline is exactly the serial
+pipeline over a sub-range of the scan.
+
+Two properties make this profitable and safe in pure Python + numpy:
+
+* the hot kernels (``NestedCSR.gather``, ``intersect_segments``, vectorized
+  predicate masks) spend their time inside numpy, which releases the GIL for
+  its inner loops, so threads overlap on multi-core machines;
+* inside a morsel the dispatcher runs the pipeline with a *coalesced* batch
+  size (``coalesce`` × the configured batch size), so several serial-sized
+  batches are joined per kernel call — the larger-than-batch intersection
+  the kernels were built for — without changing the produced rows.
+
+**Determinism.**  Extension operators emit output rows in input-row order and
+batch boundaries never affect which rows are produced (the batch kernels are
+row-segmented), so the concatenation of per-morsel outputs in ascending
+range order is *byte-identical* to the serial executor's output: same match
+rows in the same order, and — because every stats counter is per-row
+accounting — identical :class:`~repro.query.operators.ExecutionStats`.
+``parallelism=1`` (the default everywhere) bypasses the dispatcher entirely
+and remains the oracle the parallel path is tested against.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..errors import ExecutionError
 from ..graph.graph import PropertyGraph
 from .binding import DEFAULT_BATCH_SIZE, MatchBatch
 from .operators import (
@@ -39,41 +74,42 @@ class QueryResult:
         return self.count
 
 
-class Executor:
-    """Executes query plans over one property graph."""
+def _run_pipeline(
+    plan: QueryPlan, context: ExecutionContext, scan: Optional[ScanVertices] = None
+) -> Iterator[MatchBatch]:
+    """Drive the plan's operator pipeline under ``context``.
 
-    def __init__(self, graph: PropertyGraph, batch_size: int = DEFAULT_BATCH_SIZE) -> None:
-        self.graph = graph
-        self.batch_size = batch_size
+    ``scan`` optionally replaces the plan's leading scan operator (the morsel
+    dispatcher substitutes a range-restricted clone); the remaining operators
+    are shared as-is — they are stateless between calls.
+    """
+    lead = scan if scan is not None else plan.operators[0]
+    assert isinstance(lead, ScanVertices)
+    stream: Iterator[MatchBatch] = lead.execute(context)
+    for operator in plan.operators[1:]:
+        if isinstance(operator, (ExtendIntersect, MultiExtend, Filter)):
+            stream = operator.execute(stream, context)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unsupported operator {type(operator).__name__}")
+    for batch in stream:
+        context.stats.output_rows += len(batch)
+        yield batch
 
-    # ------------------------------------------------------------------
-    # streaming execution
-    # ------------------------------------------------------------------
+
+class PlanRunner:
+    """Shared count/collect/run entry points over an ``execute`` stream.
+
+    Subclasses provide ``execute(plan, stats=None) -> Iterator[MatchBatch]``;
+    the convenience entry points here consume that stream identically for
+    the serial and the morsel-driven executor, so their result contracts
+    cannot drift apart.
+    """
+
     def execute(
         self, plan: QueryPlan, stats: Optional[ExecutionStats] = None
     ) -> Iterator[MatchBatch]:
-        """Yield batches of matches produced by the plan."""
-        context = ExecutionContext(
-            graph=self.graph,
-            query=plan.query,
-            batch_size=self.batch_size,
-            stats=stats or ExecutionStats(),
-        )
-        scan = plan.operators[0]
-        assert isinstance(scan, ScanVertices)
-        stream: Iterator[MatchBatch] = scan.execute(context)
-        for operator in plan.operators[1:]:
-            if isinstance(operator, (ExtendIntersect, MultiExtend, Filter)):
-                stream = operator.execute(stream, context)
-            else:  # pragma: no cover - defensive
-                raise TypeError(f"unsupported operator {type(operator).__name__}")
-        for batch in stream:
-            context.stats.output_rows += len(batch)
-            yield batch
+        raise NotImplementedError
 
-    # ------------------------------------------------------------------
-    # convenience entry points
-    # ------------------------------------------------------------------
     def count(self, plan: QueryPlan) -> int:
         """Number of matches produced by the plan."""
         total = 0
@@ -102,3 +138,153 @@ class Executor:
                 matches.extend(batch.to_dicts())
         elapsed = time.perf_counter() - started
         return QueryResult(matches=matches, count=count, seconds=elapsed, stats=stats)
+
+
+class Executor(PlanRunner):
+    """Executes query plans serially over one property graph."""
+
+    def __init__(self, graph: PropertyGraph, batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+        self.graph = graph
+        self.batch_size = batch_size
+
+    def execute(
+        self, plan: QueryPlan, stats: Optional[ExecutionStats] = None
+    ) -> Iterator[MatchBatch]:
+        """Yield batches of matches produced by the plan."""
+        context = ExecutionContext(
+            graph=self.graph,
+            query=plan.query,
+            batch_size=self.batch_size,
+            stats=stats or ExecutionStats(),
+        )
+        yield from _run_pipeline(plan, context)
+
+
+#: Morsels handed out per worker (load-balancing granularity of the default
+#: morsel size: more morsels than workers lets fast workers steal the tail).
+MORSELS_PER_WORKER = 4
+
+#: Serial-sized batches coalesced into one in-flight batch inside a morsel.
+#: Larger batches amortize the per-kernel-call Python overhead (one gather /
+#: one ``intersect_segments`` call covers ``coalesce`` × ``batch_size`` rows),
+#: but past ~2 the extension operators' intermediates outgrow the caches and
+#: the kernels slow down more than the amortization saves (measured on the
+#: two-leg WCOJ shape of ``benchmarks/bench_extend_throughput.py``).
+DEFAULT_COALESCE = 2
+
+
+#: In-flight morsels per worker: bounds how many completed-but-unconsumed
+#: morsel results can be buffered at once, so memory stays proportional to
+#: the window (× the largest morsel output), not to the whole query result.
+MORSEL_WINDOW_PER_WORKER = 2
+
+
+class MorselExecutor(PlanRunner):
+    """Morsel-driven parallel plan execution with deterministic merge order.
+
+    Args:
+        graph: the property graph the plan reads.
+        batch_size: row count of the batches the executor *emits* (the same
+            contract as :class:`Executor`; inside a morsel the pipeline runs
+            with ``batch_size * coalesce`` rows in flight).
+        num_workers: thread-pool width.  ``1`` still runs through the
+            dispatcher (useful for testing morsel bookkeeping); use
+            :class:`Executor` for the true serial path.
+        morsel_size: vertices per morsel.  Defaults to an even split of the
+            scan domain into ``num_workers * MORSELS_PER_WORKER`` ranges; set
+            explicitly to exercise boundary cases (single-vertex morsels,
+            morsels smaller than a batch).
+        coalesce: in-morsel batch coalescing factor (>= 1).
+    """
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        num_workers: int = 4,
+        morsel_size: Optional[int] = None,
+        coalesce: int = DEFAULT_COALESCE,
+    ) -> None:
+        if num_workers < 1:
+            raise ExecutionError(f"num_workers must be >= 1, got {num_workers}")
+        if morsel_size is not None and morsel_size < 1:
+            raise ExecutionError(f"morsel_size must be >= 1, got {morsel_size}")
+        if coalesce < 1:
+            raise ExecutionError(f"coalesce must be >= 1, got {coalesce}")
+        self.graph = graph
+        self.batch_size = batch_size
+        self.num_workers = int(num_workers)
+        self.morsel_size = None if morsel_size is None else int(morsel_size)
+        self.coalesce = int(coalesce)
+
+    # ------------------------------------------------------------------
+    # morsel partitioning
+    # ------------------------------------------------------------------
+    def morsel_ranges(self, plan: QueryPlan) -> List[Tuple[int, int]]:
+        """Contiguous ``[start, stop)`` vertex ranges covering the scan domain.
+
+        The ranges partition the leading scan's domain in ascending order;
+        concatenating per-range outputs in list order therefore reproduces
+        the serial scan order.  An explicit ``vertex_range`` on the plan's
+        scan is respected (the morsels partition that sub-range).
+        """
+        scan = plan.operators[0]
+        assert isinstance(scan, ScanVertices)
+        lo, hi = scan.domain(self.graph)
+        domain = hi - lo
+        if domain <= 0:
+            return []
+        size = self.morsel_size
+        if size is None:
+            target = self.num_workers * MORSELS_PER_WORKER
+            size = max(-(-domain // target), 1)
+        return [(start, min(start + size, hi)) for start in range(lo, hi, size)]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _run_morsel(
+        self, plan: QueryPlan, lo: int, hi: int
+    ) -> Tuple[List[MatchBatch], ExecutionStats]:
+        """Run the full pipeline over one vertex-range morsel (worker body)."""
+        stats = ExecutionStats()
+        context = ExecutionContext(
+            graph=self.graph,
+            query=plan.query,
+            batch_size=self.batch_size * self.coalesce,
+            stats=stats,
+        )
+        scan = replace(plan.operators[0], vertex_range=(lo, hi))
+        batches = list(_run_pipeline(plan, context, scan=scan))
+        return batches, stats
+
+    def execute(
+        self, plan: QueryPlan, stats: Optional[ExecutionStats] = None
+    ) -> Iterator[MatchBatch]:
+        """Yield match batches in deterministic morsel order.
+
+        Morsels are dispatched through a bounded sliding window
+        (``num_workers * MORSEL_WINDOW_PER_WORKER`` in flight): workers
+        drain the window out of order, the next morsel is submitted as the
+        oldest one is consumed, and batches are yielded strictly in
+        ascending morsel order (re-split to ``batch_size`` rows) — so
+        consumers observe the exact serial row sequence while peak memory
+        stays proportional to the window, not to the whole query result.
+        """
+        merged = stats if stats is not None else ExecutionStats()
+        ranges = iter(self.morsel_ranges(plan))
+        window = self.num_workers * MORSEL_WINDOW_PER_WORKER
+        with ThreadPoolExecutor(max_workers=self.num_workers) as pool:
+            pending = deque()
+            for lo, hi in ranges:
+                pending.append(pool.submit(self._run_morsel, plan, lo, hi))
+                if len(pending) >= window:
+                    break
+            while pending:
+                batches, morsel_stats = pending.popleft().result()
+                refill = next(ranges, None)
+                if refill is not None:
+                    pending.append(pool.submit(self._run_morsel, plan, *refill))
+                merged.add(morsel_stats)
+                for batch in batches:
+                    yield from batch.split(self.batch_size)

@@ -91,6 +91,19 @@ class ExecutionStats:
         self.output_rows = 0
         self.predicate_evaluations = 0
 
+    def add(self, other: "ExecutionStats") -> None:
+        """Accumulate another stats object (morsel-wise merge).
+
+        Every counter is per-row accounting, so summing the per-morsel
+        counters of a partitioned execution reproduces the serial totals
+        exactly.
+        """
+        self.lists_accessed += other.lists_accessed
+        self.list_entries_fetched += other.list_entries_fetched
+        self.intermediate_rows += other.intermediate_rows
+        self.output_rows += other.output_rows
+        self.predicate_evaluations += other.predicate_evaluations
+
 
 @dataclass
 class ExecutionContext:
@@ -429,25 +442,43 @@ class ScanVertices(PhysicalOperator):
         label: optional vertex label restriction.
         predicate: optional single-variable predicate (e.g. ``a1.ID < 50000``
             or ``a1.city = 'BOS'``), evaluated vectorized over the candidates.
+        vertex_range: optional ``(start, stop)`` half-open sub-range of the
+            vertex-ID domain to scan instead of the full domain.  This is how
+            the morsel dispatcher assigns one contiguous vertex-range morsel
+            to each worker: scanning ``(0, num_vertices)`` in one operator and
+            scanning a partition of it across several operator copies produce
+            the same candidates in the same order, so per-morsel pipelines
+            concatenated in range order reproduce the serial output exactly.
     """
 
     var: str
     label: Optional[str] = None
     predicate: Predicate = field(default_factory=Predicate.true)
+    vertex_range: Optional[Tuple[int, int]] = None
+
+    def domain(self, graph: PropertyGraph) -> Tuple[int, int]:
+        """The scanned ``[start, stop)`` vertex-ID range, clipped to the graph."""
+        if self.vertex_range is None:
+            return 0, graph.num_vertices
+        start, stop = self.vertex_range
+        start = max(int(start), 0)
+        stop = min(int(stop), graph.num_vertices)
+        return start, max(stop, start)
 
     def _candidate_chunks(
         self, graph: PropertyGraph, chunk_size: int
     ) -> Iterator[np.ndarray]:
         """Yield label-filtered candidate IDs one vertex-domain chunk at a time."""
+        lo, hi = self.domain(graph)
         if self.label is not None:
             code = graph.schema.vertex_label_code(self.label)
             labels = graph.vertex_labels
-            for start in range(0, graph.num_vertices, chunk_size):
-                window = labels[start : start + chunk_size]
+            for start in range(lo, hi, chunk_size):
+                window = labels[start : min(start + chunk_size, hi)]
                 yield np.nonzero(window == code)[0].astype(np.int64) + start
         else:
-            for start in range(0, graph.num_vertices, chunk_size):
-                end = min(start + chunk_size, graph.num_vertices)
+            for start in range(lo, hi, chunk_size):
+                end = min(start + chunk_size, hi)
                 yield np.arange(start, end, dtype=np.int64)
 
     def execute(self, context: ExecutionContext) -> Iterator[MatchBatch]:
@@ -480,7 +511,12 @@ class ScanVertices(PhysicalOperator):
     def describe(self) -> str:
         label = f":{self.label}" if self.label else ""
         where = f" WHERE {self.predicate.describe()}" if not self.predicate.is_true else ""
-        return f"SCAN ({self.var}{label}){where}"
+        span = (
+            f" RANGE [{self.vertex_range[0]}, {self.vertex_range[1]})"
+            if self.vertex_range is not None
+            else ""
+        )
+        return f"SCAN ({self.var}{label}){span}{where}"
 
 
 @dataclass

@@ -27,12 +27,21 @@ class QueryPlan:
         operators: the operator pipeline; the first operator must be a scan.
         estimated_cost: the optimizer's i-cost estimate (0 for manual plans).
         estimated_cardinality: estimated number of output matches.
+        store_snapshot: the index-store generation the plan was planned
+            against (set by ``Database.plan``/``Database.run``).  The plan's
+            legs hold direct references into this generation's indexes, so
+            executing the plan against any *other* generation's graph would
+            mix edge/vertex IDs across flush remappings; ``Database.run``
+            executes a pinned plan against this snapshot's graph.  ``None``
+            for hand-built plans (tests, benchmarks), which are executed
+            against whatever graph the caller supplies.
     """
 
     query: QueryGraph
     operators: List[PhysicalOperator]
     estimated_cost: float = 0.0
     estimated_cardinality: float = 0.0
+    store_snapshot: Optional[object] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.operators:

@@ -1,0 +1,131 @@
+"""Unit tests for the perf-regression gate's comparison logic.
+
+The gate itself (``benchmarks/check_regression.py``) normally runs the full
+throughput benchmark; here pre-measured results are injected so the
+floor-comparison semantics — inclusive boundaries, float-robustness,
+``requires_cpus`` skips, and CI-advisory downgrades — are testable in
+milliseconds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import pytest
+
+_BENCHMARKS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "benchmarks"
+)
+if _BENCHMARKS_DIR not in sys.path:
+    sys.path.insert(0, _BENCHMARKS_DIR)
+
+from check_regression import meets_floor, run_check  # noqa: E402
+
+
+# ----------------------------------------------------------------------
+# meets_floor: the inclusive boundary comparison
+# ----------------------------------------------------------------------
+class TestMeetsFloor:
+    def test_above_floor_passes(self):
+        assert meets_floor(5.0, 4.0)
+
+    def test_exactly_on_floor_passes(self):
+        # A scenario whose measured ratio equals its floor must pass: the
+        # gate is inclusive, not strict.
+        assert meets_floor(4.0, 4.0)
+
+    def test_float_representation_of_the_floor_passes(self):
+        # The floor is computed as min_speedup * (1 - tolerance); a measured
+        # ratio equal to the *mathematical* floor can differ from the float
+        # product by one ulp.  5.0 * (1 - 0.2) != 4.0 exactly in binary.
+        floor = 5.0 * (1.0 - 0.2)
+        assert meets_floor(4.0, floor)
+        assert meets_floor(floor, 4.0)
+
+    def test_one_ulp_below_passes(self):
+        import math
+
+        floor = 4.0
+        assert meets_floor(math.nextafter(floor, 0.0), floor)
+
+    def test_clearly_below_fails(self):
+        assert not meets_floor(3.9, 4.0)
+        assert not meets_floor(0.0, 4.0)
+
+
+# ----------------------------------------------------------------------
+# run_check with injected results
+# ----------------------------------------------------------------------
+def _baseline(tmp_path, scenarios, tolerance=0.2):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"tolerance": tolerance, "scenarios": scenarios}))
+    return str(path)
+
+
+def _results(**speedups):
+    return {
+        "scenarios": {
+            name: dict(speedup=value) if isinstance(value, float) else dict(value)
+            for name, value in speedups.items()
+        }
+    }
+
+
+class TestRunCheckGate:
+    def test_boundary_scenario_passes(self, tmp_path):
+        # measured == min_speedup * (1 - tolerance), the exact boundary.
+        baseline = _baseline(tmp_path, {"s": {"min_speedup": 5.0}})
+        report = run_check(baseline, results=_results(s=5.0 * 0.8), env={})
+        assert report["ok"], report["failures"]
+
+    def test_below_floor_fails(self, tmp_path):
+        baseline = _baseline(tmp_path, {"s": {"min_speedup": 5.0}})
+        report = run_check(baseline, results=_results(s=3.0), env={})
+        assert not report["ok"]
+        assert "below floor" in report["failures"][0]
+
+    def test_missing_scenario_fails(self, tmp_path):
+        baseline = _baseline(tmp_path, {"s": {"min_speedup": 5.0}})
+        report = run_check(baseline, results={"scenarios": {}}, env={})
+        assert not report["ok"]
+
+    def test_ungated_extra_scenario_fails(self, tmp_path):
+        baseline = _baseline(tmp_path, {})
+        report = run_check(baseline, results=_results(extra=9.0), env={})
+        assert not report["ok"]
+        assert "no baseline floor" in report["failures"][0]
+
+    def test_requires_cpus_skips_on_small_machines(self, tmp_path):
+        baseline = _baseline(
+            tmp_path, {"par": {"min_speedup": 2.0, "requires_cpus": 4}}
+        )
+        report = run_check(
+            baseline,
+            results=_results(par={"speedup": 0.9, "available_cpus": 1}),
+            env={},
+        )
+        assert report["ok"], report["failures"]
+        assert report["skipped"] and "usable CPUs" in report["skipped"][0]
+
+    def test_requires_cpus_enforced_when_cores_present(self, tmp_path):
+        baseline = _baseline(
+            tmp_path, {"par": {"min_speedup": 2.0, "requires_cpus": 4}}
+        )
+        report = run_check(
+            baseline,
+            results=_results(par={"speedup": 0.9, "available_cpus": 8}),
+            env={},
+        )
+        assert not report["ok"]
+
+    def test_advisory_on_ci_downgrades_to_warning(self, tmp_path):
+        spec = {"par": {"min_speedup": 2.0, "advisory_on_ci": True}}
+        results = _results(par={"speedup": 0.9, "available_cpus": 8})
+        on_ci = run_check(_baseline(tmp_path, spec), results=results, env={"CI": "1"})
+        assert on_ci["ok"], on_ci["failures"]
+        assert on_ci["warnings"] and "advisory on CI" in on_ci["warnings"][0]
+        # Off CI the same miss is a hard failure.
+        local = run_check(_baseline(tmp_path, spec), results=results, env={})
+        assert not local["ok"]

@@ -1,0 +1,211 @@
+"""Concurrent queries racing index-maintenance flushes.
+
+The snapshot/flush contract (documented on ``IndexStore`` and
+``repro.index.maintenance``): a flush builds the complete replacement state —
+graph, primary, statistics, every secondary index — off to the side and
+installs it with one atomic ``install_state`` swap, and every
+``Database.run`` captures a store snapshot at plan time.  A query racing a
+flush must therefore observe either the entirely pre-flush or the entirely
+post-flush store — never a partially merged index, and never a graph of one
+generation paired with indexes of another.
+
+The probabilistic test hammers a database from reader threads while the main
+thread runs repeated bulk-insert + flush rounds; every observed count must be
+one of the per-generation counts computed by an identical serial dry run.
+The deterministic tests pin a snapshot across a flush and check both sides
+of the swap directly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import Database, Direction, IndexConfig
+from repro.graph.generators import FinancialGraphSpec, generate_financial_graph
+from repro.index.views import OneHopView
+from repro.query import Predicate, QueryGraph, cmp, prop
+from repro.storage.sort_keys import SortKey
+
+NUM_VERTICES = 100
+NUM_EDGES = 400
+ROUNDS = 6
+BATCH = 150
+
+
+def _build_db() -> Database:
+    graph = generate_financial_graph(
+        FinancialGraphSpec(
+            num_vertices=NUM_VERTICES,
+            num_edges=NUM_EDGES,
+            num_cities=5,
+            skew=0.3,
+            seed=29,
+        )
+    )
+    db = Database(graph)
+    db.create_vertex_index(
+        OneHopView(
+            "BigWire", predicate=Predicate.of(cmp(prop("eadj", "amt"), ">", 500))
+        ),
+        directions=(Direction.FORWARD,),
+        config=IndexConfig(
+            partition_keys=(),
+            sort_keys=(SortKey.edge_property("date"), SortKey.neighbour_id()),
+        ),
+        name="BigWire",
+    )
+    return db
+
+
+def _delta_batches():
+    rng = np.random.default_rng(83)
+    return [
+        (
+            rng.integers(0, NUM_VERTICES, size=BATCH),
+            rng.integers(0, NUM_VERTICES, size=BATCH),
+            dict(
+                amt=rng.integers(1, 1001, size=BATCH),
+                date=rng.integers(0, 1825, size=BATCH),
+                currency=rng.integers(0, 4, size=BATCH),
+            ),
+        )
+        for _ in range(ROUNDS)
+    ]
+
+
+def _queries():
+    edge_count = QueryGraph("edges")
+    edge_count.add_vertex("a")
+    edge_count.add_vertex("b")
+    edge_count.add_edge("a", "b", name="e")
+
+    big = QueryGraph("big")
+    big.add_vertex("a")
+    big.add_vertex("b")
+    big.add_edge("a", "b", name="e")
+    big.add_predicate(cmp(prop("e", "amt"), ">", 500))
+    return edge_count, big
+
+
+def test_queries_never_observe_partially_merged_index():
+    batches = _delta_batches()
+    edge_count, big = _queries()
+
+    # Serial dry run: the only counts any reader may legitimately observe.
+    dry = _build_db()
+    dry_maintainer = dry.maintainer(merge_threshold=10**12)
+    valid_edge_counts = {dry.count(edge_count)}
+    valid_big_counts = {dry.count(big)}
+    for src, dst, props in batches:
+        dry_maintainer.insert_edges(src, dst, "Wire", properties=props)
+        dry_maintainer.flush()
+        valid_edge_counts.add(dry.count(edge_count))
+        valid_big_counts.add(dry.count(big))
+
+    db = _build_db()
+    maintainer = db.maintainer(merge_threshold=10**12)
+    stop = threading.Event()
+    observations = []
+    errors = []
+
+    def reader(parallelism: int) -> None:
+        try:
+            while not stop.is_set():
+                observations.append(
+                    ("edges", db.count(edge_count, parallelism=parallelism))
+                )
+                observations.append(("big", db.count(big, parallelism=parallelism)))
+        except Exception as exc:  # noqa: BLE001 - surface to the main thread
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=reader, args=(parallelism,))
+        for parallelism in (1, 1, 2)
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        # Let the readers spin up so flushes race in-flight queries, and
+        # pause between rounds so intermediate generations are observed.
+        time.sleep(0.05)
+        for src, dst, props in batches:
+            maintainer.insert_edges(src, dst, "Wire", properties=props)
+            maintainer.flush()
+            time.sleep(0.02)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+
+    assert not errors, f"reader raised: {errors[0]!r}"
+    assert observations, "readers never ran"
+    for name, observed in observations:
+        valid = valid_edge_counts if name == "edges" else valid_big_counts
+        assert observed in valid, (
+            f"query {name!r} observed count {observed}, which matches no "
+            f"complete store generation {sorted(valid)} — a partially "
+            "merged index leaked into a reader"
+        )
+    # The final generation is what the last flush produced.
+    assert db.count(edge_count) == NUM_EDGES + ROUNDS * BATCH
+
+
+def test_snapshot_pins_the_preflush_generation():
+    db = _build_db()
+    edge_count, _ = _queries()
+    snapshot = db.store.snapshot()
+    pre_graph = snapshot.graph
+    pre_index_names = snapshot.secondary_index_names()
+
+    maintainer = db.maintainer(merge_threshold=10**12)
+    src, dst, props = _delta_batches()[0]
+    maintainer.insert_edges(src, dst, "Wire", properties=props)
+    maintainer.flush()
+
+    # The pinned snapshot still describes the pre-flush generation...
+    assert snapshot.graph is pre_graph
+    assert snapshot.graph.num_edges == NUM_EDGES
+    assert snapshot.secondary_index_names() == pre_index_names
+    # ... while the live store (and fresh snapshots) see the merged one.
+    assert db.graph.num_edges == NUM_EDGES + BATCH
+    assert db.store.snapshot().graph is db.graph
+    assert db.count(edge_count) == NUM_EDGES + BATCH
+
+
+def test_prebuilt_plan_executes_against_its_pinned_generation():
+    """A plan's legs reference the indexes it was planned against; running it
+    after a flush must use that generation's graph (edge IDs are remapped by
+    the merge), not mix old index references with the new graph."""
+    db = _build_db()
+    edge_count, _ = _queries()
+    plan = db.plan(edge_count)
+    pinned_graph = plan.store_snapshot.graph
+
+    maintainer = db.maintainer(merge_threshold=10**12)
+    src, dst, props = _delta_batches()[0]
+    maintainer.insert_edges(src, dst, "Wire", properties=props)
+    maintainer.flush()
+
+    # The pre-built plan still answers over its own (pre-flush) generation...
+    assert plan.store_snapshot.graph is pinned_graph
+    assert db.run(plan).count == NUM_EDGES
+    # ... while re-planning the same query sees the merged generation.
+    assert db.count(edge_count) == NUM_EDGES + BATCH
+
+
+def test_flush_swap_is_one_complete_generation():
+    """Every generation's indexes cover exactly its graph's edge set."""
+    db = _build_db()
+    maintainer = db.maintainer(merge_threshold=10**12)
+    src, dst, props = _delta_batches()[0]
+    maintainer.insert_edges(src, dst, "Wire", properties=props)
+    maintainer.flush()
+    state = db.store.state
+    assert state.primary.graph is state.graph
+    assert len(state.primary.forward.id_lists.edge_ids) == state.graph.num_edges
+    for index in state.vertex_indexes.values():
+        assert index.graph is state.graph
