@@ -27,7 +27,22 @@ plus the parallel-execution counterpart:
   dispatcher with ``PARALLEL_WORKERS`` threads; the speedup is
   serial/parallel wall-clock.  The row records ``available_cpus`` so the
   regression gate can skip the floor on machines that cannot physically run
-  the workers concurrently (``requires_cpus`` in the baseline).
+  the workers concurrently (``requires_cpus`` in the baseline),
+
+* ``parallel_scan_process`` — the same plan dispatched to the ``process``
+  morsel backend (a ``multiprocessing`` pool with per-worker plan/graph
+  rehydration and columnar result transport) vs the serial executor.  The
+  row records ``start_method``: on spawn-only platforms (no cheap ``fork``)
+  the scenario is not executed and the gate skips its floor
+  (``requires_fork`` in the baseline) — per-query pool creation through a
+  fresh interpreter per worker is not a meaningful measurement,
+
+* ``skewed_scan``    — the same WCOJ shape on a *hub-skewed* Zipf graph
+  whose degree correlates with vertex ID (no ID shuffle): the degree-
+  weighted morsel splitter (prefix-summed CSR offsets, the dispatcher
+  default) vs even vertex-count splitting, both on ``PARALLEL_WORKERS``
+  threads.  The speedup is even/degree-weighted wall-clock — the load-
+  balancing win, not a parallelization win.
 
 The generated graphs have >= 100k edges at the default scale so the numbers
 are dominated by the steady-state loop, not setup.
@@ -61,9 +76,11 @@ from repro.graph import Direction  # noqa: E402
 from repro.index.views import OneHopView, TwoHopView  # noqa: E402
 from repro.graph.generators import (  # noqa: E402
     FinancialGraphSpec,
+    HubSkewedGraphSpec,
     LabelledGraphSpec,
     SocialGraphSpec,
     generate_financial_graph,
+    generate_hub_skewed_graph,
     generate_labelled_graph,
     generate_social_graph,
 )
@@ -72,6 +89,10 @@ from repro.index.index_store import IndexStore  # noqa: E402
 from repro.index.primary import PrimaryIndex  # noqa: E402
 from repro.bench.harness import available_cpus  # noqa: E402
 from repro.predicates import CompareOp, Predicate, cmp, prop  # noqa: E402
+from repro.query.backends import (  # noqa: E402
+    fork_available,
+    preferred_start_method,
+)
 from repro.query.executor import Executor, MorselExecutor  # noqa: E402
 from repro.query.operators import (  # noqa: E402
     ExtendIntersect,
@@ -103,6 +124,11 @@ MAINTENANCE_DATE_WINDOW = 50.0
 #: Thread-pool width of the parallel-scan scenario (the baseline's floor is
 #: calibrated for this worker count; see ``requires_cpus`` in the baseline).
 PARALLEL_WORKERS = 4
+#: Zipf exponent of the hub-skewed graph (``skewed_scan``): steep enough
+#: that the low-ID hub region dominates the adjacency work without one
+#: single vertex holding the bulk of it (a single super-vertex cannot be
+#: split below one vertex by *any* range partitioner).
+SKEWED_SCAN_EXPONENT = 1.1
 
 REPETITIONS = int(os.environ.get("BENCH_REPETITIONS", "2"))
 
@@ -318,45 +344,180 @@ def _plan_parallel_scan(store):
     )
 
 
-def _parallel_scan_scenario_row(graph, store) -> Dict:
-    """Serial executor vs morsel-driven dispatcher on the same plan.
+def _ab_scenario_row(name, plan_factory, baseline_factory, candidate_factory) -> Dict:
+    """Best-of-``REPETITIONS`` A/B timing with the shared row layout.
 
-    The ``rowwise_*`` keys hold the serial run and the ``vectorized_*`` keys
-    the parallel run, mirroring the other scenarios' baseline-vs-tuned key
-    layout so the regression gate reads every row the same way.
+    Runs ``plan_factory()`` through a fresh baseline and candidate runner
+    per repetition, cross-checks that both produce the same match count,
+    and returns the ``rowwise_*`` (baseline) / ``vectorized_*`` (candidate)
+    key layout every scenario shares so the regression gate reads all rows
+    the same way.
     """
-    serial_seconds = parallel_seconds = float("inf")
-    serial_edges = parallel_edges = 0
+    baseline_seconds = candidate_seconds = float("inf")
+    baseline_edges = candidate_edges = 0
     for _ in range(max(REPETITIONS, 1)):
-        plan = _plan_parallel_scan(store)
-        executor = Executor(graph)
+        plan = plan_factory()
+        runner = baseline_factory()
         started = time.perf_counter()
-        serial_edges = executor.run(plan).count
-        serial_seconds = min(serial_seconds, time.perf_counter() - started)
+        baseline_edges = runner.run(plan).count
+        baseline_seconds = min(baseline_seconds, time.perf_counter() - started)
 
-        plan = _plan_parallel_scan(store)
-        dispatcher = MorselExecutor(graph, num_workers=PARALLEL_WORKERS)
+        plan = plan_factory()
+        runner = candidate_factory()
         started = time.perf_counter()
-        parallel_edges = dispatcher.run(plan).count
-        parallel_seconds = min(parallel_seconds, time.perf_counter() - started)
-    if serial_edges != parallel_edges:
+        candidate_edges = runner.run(plan).count
+        candidate_seconds = min(candidate_seconds, time.perf_counter() - started)
+    if baseline_edges != candidate_edges:
         raise RuntimeError(
-            f"parallel_scan: paths disagree ({serial_edges} vs {parallel_edges})"
+            f"{name}: paths disagree ({baseline_edges} vs {candidate_edges})"
         )
     return {
-        "extended_edges": int(parallel_edges),
-        "workers": PARALLEL_WORKERS,
-        "available_cpus": available_cpus(),
-        "rowwise_seconds": serial_seconds,
-        "vectorized_seconds": parallel_seconds,
-        "rowwise_eps": serial_edges / serial_seconds if serial_seconds else 0.0,
+        "extended_edges": int(candidate_edges),
+        "rowwise_seconds": baseline_seconds,
+        "vectorized_seconds": candidate_seconds,
+        "rowwise_eps": (
+            baseline_edges / baseline_seconds if baseline_seconds else 0.0
+        ),
         "vectorized_eps": (
-            parallel_edges / parallel_seconds if parallel_seconds else 0.0
+            candidate_edges / candidate_seconds if candidate_seconds else 0.0
         ),
         "speedup": (
-            serial_seconds / parallel_seconds if parallel_seconds else float("inf")
+            baseline_seconds / candidate_seconds
+            if candidate_seconds
+            else float("inf")
         ),
     }
+
+
+def _parallel_scan_scenario_row(graph, store) -> Dict:
+    """Serial executor vs morsel-driven thread dispatcher on the same plan."""
+    row = _ab_scenario_row(
+        "parallel_scan",
+        lambda: _plan_parallel_scan(store),
+        lambda: Executor(graph),
+        lambda: MorselExecutor(graph, num_workers=PARALLEL_WORKERS),
+    )
+    row.update(workers=PARALLEL_WORKERS, available_cpus=available_cpus())
+    return row
+
+
+def _build_hub_skewed():
+    """Hub-skewed Zipf graph: degree correlates with vertex ID (no shuffle)."""
+    graph = generate_hub_skewed_graph(
+        HubSkewedGraphSpec(
+            num_vertices=NUM_VERTICES,
+            num_edges=NUM_EDGES,
+            skew=SKEWED_SCAN_EXPONENT,
+            seed=5,
+        )
+    )
+    store = IndexStore(graph, PrimaryIndex(graph))
+    return graph, store
+
+
+def _plan_skewed_scan(store):
+    """WCOJ plan whose per-scan-vertex work tracks the skewed out-degree.
+
+    Scan ``a`` over the full domain, hop *backward* to ``c`` (uniform
+    in-degrees on the hub-skewed graph, so the intermediate row count stays
+    flat), then intersect ``a``'s and ``c``'s *forward* lists — the leg
+    bound to ``a`` re-reads the hub's heavy list once per ``(a, c)`` row, so
+    per-vertex work is proportional to the ID-correlated out-degree: the
+    shape even vertex-count morsels cannot balance.
+    """
+    query = QueryGraph("skewed_scan")
+    for name in ("a", "c", "b"):
+        query.add_vertex(name)
+    query.add_edge("c", "a", name="ec")
+    query.add_edge("a", "b", name="e0")
+    query.add_edge("c", "b", name="e1")
+    return QueryPlan(
+        query=query,
+        operators=[
+            ScanVertices(var="a"),
+            ExtendIntersect(
+                target_var="c",
+                legs=[_leg(store, Direction.BACKWARD, "a", "c", "ec")],
+            ),
+            ExtendIntersect(
+                target_var="b",
+                legs=[
+                    _leg(store, Direction.FORWARD, "a", "b", "e0"),
+                    _leg(store, Direction.FORWARD, "c", "b", "e1"),
+                ],
+            ),
+        ],
+    )
+
+
+def _parallel_scan_process_scenario_row(graph, store) -> Dict:
+    """Serial executor vs the process morsel backend on the same plan.
+
+    Mirrors ``parallel_scan``'s key layout (``rowwise_*`` = serial,
+    ``vectorized_*`` = parallel).  On platforms without a cheap ``fork``
+    start method the scenario is recorded but not executed — spinning up a
+    fresh interpreter per pool worker per query measures interpreter
+    startup, not the dispatcher — and the regression gate skips its floor
+    (``requires_fork`` + the recorded ``start_method``).
+    """
+    start_method = preferred_start_method()
+    if not fork_available():
+        return {
+            "extended_edges": 0,
+            "workers": PARALLEL_WORKERS,
+            "available_cpus": available_cpus(),
+            "start_method": start_method,
+            "skipped_reason": (
+                "process pools need the fork start method to be cheap; "
+                f"this platform offers {start_method!r}"
+            ),
+            "rowwise_seconds": 0.0,
+            "vectorized_seconds": 0.0,
+            "rowwise_eps": 0.0,
+            "vectorized_eps": 0.0,
+            "speedup": 0.0,
+        }
+    row = _ab_scenario_row(
+        "parallel_scan_process",
+        lambda: _plan_parallel_scan(store),
+        lambda: Executor(graph),
+        lambda: MorselExecutor(
+            graph, num_workers=PARALLEL_WORKERS, backend="process"
+        ),
+    )
+    row.update(
+        workers=PARALLEL_WORKERS,
+        available_cpus=available_cpus(),
+        start_method=start_method,
+    )
+    return row
+
+
+def _skewed_scan_scenario_row(graph, store) -> Dict:
+    """Even vs degree-weighted morsels on the hub-skewed graph.
+
+    ``rowwise_*`` holds the even (vertex-count) split and ``vectorized_*``
+    the degree-weighted split, mirroring the baseline-vs-tuned key layout of
+    the other scenarios.  Both sides run the thread backend at
+    ``PARALLEL_WORKERS`` workers, so the ratio isolates the load-balancing
+    effect of weighting alone.
+    """
+    row = _ab_scenario_row(
+        "skewed_scan",
+        lambda: _plan_skewed_scan(store),
+        lambda: MorselExecutor(
+            graph, num_workers=PARALLEL_WORKERS, weighting="even"
+        ),
+        lambda: MorselExecutor(
+            graph, num_workers=PARALLEL_WORKERS, weighting="degree"
+        ),
+    )
+    row.update(
+        workers=PARALLEL_WORKERS,
+        available_cpus=available_cpus(),
+        zipf_exponent=SKEWED_SCAN_EXPONENT,
+    )
+    return row
 
 
 def _build_maintenance_db() -> Database:
@@ -544,6 +705,8 @@ def run_benchmarks() -> Dict:
             "num_cities": NUM_CITIES,
             "maintenance_insert_fraction": MAINTENANCE_INSERT_FRACTION,
             "maintenance_date_window": MAINTENANCE_DATE_WINDOW,
+            "skewed_scan_exponent": SKEWED_SCAN_EXPONENT,
+            "parallel_workers": PARALLEL_WORKERS,
         },
         "scenarios": {},
     }
@@ -569,6 +732,13 @@ def run_benchmarks() -> Dict:
     report["scenarios"]["maintenance"] = _maintenance_scenario_row()
     report["scenarios"]["parallel_scan"] = _parallel_scan_scenario_row(
         labelled_graph, labelled_store
+    )
+    report["scenarios"]["parallel_scan_process"] = (
+        _parallel_scan_process_scenario_row(labelled_graph, labelled_store)
+    )
+    hub_graph, hub_store = _build_hub_skewed()
+    report["scenarios"]["skewed_scan"] = _skewed_scan_scenario_row(
+        hub_graph, hub_store
     )
     return report
 

@@ -12,6 +12,11 @@ Per-scenario baseline fields beyond ``min_speedup``:
   be meaningful (the parallel-scan scenario cannot beat serial on a 1-core
   container); when the measured row reports fewer ``available_cpus`` the
   floor comparison is skipped with a note instead of failing.
+* ``requires_fork`` — the scenario uses per-query ``multiprocessing`` pools
+  and is only meaningful where the ``fork`` start method makes pool startup
+  cheap; when the measured row's ``start_method`` is not ``fork`` (spawn-only
+  platforms: Windows, macOS default) the floor comparison is skipped with a
+  note instead of failing.
 * ``advisory_on_ci`` — a floor miss is reported as a warning instead of a
   failure when the ``CI`` environment variable is set (shared CI runners
   have noisy timers and unpredictable core counts).
@@ -129,6 +134,15 @@ def run_check(
                 f"has {available_cpus} — floor not comparable, skipping"
             )
             continue
+        if spec.get("requires_fork"):
+            start_method = str(measured.get("start_method", "fork"))
+            if start_method != "fork":
+                skipped.append(
+                    f"{name}: needs cheap fork-based process pools, this "
+                    f"platform's start method is {start_method!r} — floor "
+                    "not comparable, skipping"
+                )
+                continue
         floor = float(spec["min_speedup"]) * (1.0 - tolerance)
         speedup = float(measured["speedup"])
         if not meets_floor(speedup, floor):

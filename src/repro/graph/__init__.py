@@ -3,9 +3,11 @@
 from .builder import GraphBuilder
 from .generators import (
     FinancialGraphSpec,
+    HubSkewedGraphSpec,
     LabelledGraphSpec,
     SocialGraphSpec,
     generate_financial_graph,
+    generate_hub_skewed_graph,
     generate_labelled_graph,
     generate_social_graph,
     running_example_graph,
@@ -25,6 +27,7 @@ __all__ = [
     "GraphBuilder",
     "GraphSchema",
     "GraphStatistics",
+    "HubSkewedGraphSpec",
     "LabelledGraphSpec",
     "PropertyDef",
     "PropertyGraph",
@@ -33,6 +36,7 @@ __all__ = [
     "SocialGraphSpec",
     "assign_random_labels",
     "generate_financial_graph",
+    "generate_hub_skewed_graph",
     "generate_labelled_graph",
     "generate_social_graph",
     "load_csv",

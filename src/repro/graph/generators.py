@@ -146,6 +146,68 @@ def generate_labelled_graph(spec: LabelledGraphSpec) -> PropertyGraph:
 
 
 @dataclass
+class HubSkewedGraphSpec:
+    """Parameters for :func:`generate_hub_skewed_graph`.
+
+    Attributes:
+        num_vertices: number of vertices.
+        num_edges: number of edges.
+        skew: Zipf exponent of the degree distribution.
+        seed: RNG seed.
+    """
+
+    num_vertices: int
+    num_edges: int
+    skew: float = 1.1
+    seed: int = 42
+
+
+def generate_hub_skewed_graph(spec: HubSkewedGraphSpec) -> PropertyGraph:
+    """Generate a Zipf graph whose *out*-degree correlates with vertex ID.
+
+    Unlike :func:`_power_law_edges`, edge sources are **not** shuffled
+    through a permutation: vertex 0 is the heaviest hub and expected
+    out-degree decays with the vertex ID, so the low-ID region of the
+    vertex domain carries nearly all the forward adjacency work.  This is
+    the pathological case for splitting a scan domain into equal
+    vertex-*count* morsels (the first ranges become stragglers) and the
+    motivating case for degree-weighted morsel generation — it models
+    hub-clustered ID assignment (e.g. crawl order or insertion order
+    putting celebrities first), which the other generators deliberately
+    destroy.  Destinations are uniform, keeping in-degrees flat: workloads
+    can hop *backward* with uniform fan-out and still hit the skewed
+    forward lists, which bounds their total work linearly in the hub degree.
+    """
+    rng = np.random.default_rng(spec.seed)
+    schema = GraphSchema()
+    schema.add_vertex_label("V")
+    schema.add_edge_label("E")
+
+    ranks = np.arange(1, spec.num_vertices + 1, dtype=np.float64)
+    weights = ranks ** (-spec.skew)
+    weights /= weights.sum()
+    src = rng.choice(spec.num_vertices, size=spec.num_edges, p=weights)
+    dst = rng.integers(0, spec.num_vertices, size=spec.num_edges)
+    loops = src == dst
+    dst[loops] = (dst[loops] + 1) % spec.num_vertices
+
+    vertex_store = PropertyStore(schema, "vertex")
+    vertex_store.set_count(spec.num_vertices)
+    edge_store = PropertyStore(schema, "edge")
+    edge_store.set_count(spec.num_edges)
+
+    return PropertyGraph(
+        schema=schema,
+        vertex_labels=np.zeros(spec.num_vertices, dtype=np.int32),
+        edge_src=src.astype(np.int32),
+        edge_dst=dst.astype(np.int32),
+        edge_labels=np.zeros(spec.num_edges, dtype=np.int32),
+        vertex_props=vertex_store,
+        edge_props=edge_store,
+    )
+
+
+@dataclass
 class SocialGraphSpec:
     """Parameters for :func:`generate_social_graph` (MagicRecs workload).
 

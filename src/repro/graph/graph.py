@@ -50,6 +50,8 @@ class PropertyGraph:
         self.edge_labels = np.asarray(edge_labels, dtype=np.int32)
         self.vertex_props = vertex_props
         self.edge_props = edge_props
+        self._out_degree: Optional[np.ndarray] = None
+        self._in_degree: Optional[np.ndarray] = None
         self._validate()
 
     def _validate(self) -> None:
@@ -124,12 +126,21 @@ class PropertyGraph:
         return np.arange(self.num_edges, dtype=EDGE_ID_DTYPE)
 
     def out_degree(self) -> np.ndarray:
-        """Out-degree of every vertex."""
-        return np.bincount(self.edge_src, minlength=self.num_vertices)
+        """Out-degree of every vertex.
+
+        Computed once and cached (graphs are immutable after construction;
+        maintenance flushes install a *new* graph).  Callers must treat the
+        returned array as read-only.
+        """
+        if self._out_degree is None:
+            self._out_degree = np.bincount(self.edge_src, minlength=self.num_vertices)
+        return self._out_degree
 
     def in_degree(self) -> np.ndarray:
-        """In-degree of every vertex."""
-        return np.bincount(self.edge_dst, minlength=self.num_vertices)
+        """In-degree of every vertex (cached; treat as read-only)."""
+        if self._in_degree is None:
+            self._in_degree = np.bincount(self.edge_dst, minlength=self.num_vertices)
+        return self._in_degree
 
     # ------------------------------------------------------------------
     # iteration (convenience, used by tests and examples)

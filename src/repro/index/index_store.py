@@ -145,6 +145,20 @@ class StoreState:
     CPython), so a reader that captures ``state`` (via
     :meth:`IndexStore.snapshot`) can never observe a graph from one flush
     paired with indexes from another.
+
+    ``generation`` numbers the states a store has installed (0 for the
+    construction state, +1 per :meth:`IndexStore._replace`/\
+    :meth:`IndexStore.install_state`).  Plans pin the generation they were
+    planned against (``QueryPlan.pinned_generation``), and the
+    process-backend morsel dispatcher stamps it into every task spec so a
+    worker rehydrated from one generation loudly rejects tasks belonging to
+    another (see :mod:`repro.query.backends`).
+
+    States are **picklable as one self-contained unit**: graphs and index
+    objects are immutable after construction and hold no locks or open
+    resources, so ``pickle.dumps(state)`` is the worker-rehydration payload
+    — shared references (indexes onto their graph) are preserved inside the
+    one pickle, and the worker's copy stays internally consistent.
     """
 
     graph: PropertyGraph
@@ -152,6 +166,7 @@ class StoreState:
     statistics: GraphStatistics
     vertex_indexes: Dict[str, VertexPartitionedIndex]
     edge_indexes: Dict[str, EdgePartitionedIndex]
+    generation: int = 0
 
 
 class IndexStore:
@@ -206,6 +221,11 @@ class IndexStore:
         return self._state
 
     @property
+    def generation(self) -> int:
+        """Generation number of the current state (0 = construction state)."""
+        return self._state.generation
+
+    @property
     def graph(self) -> PropertyGraph:
         return self._state.graph
 
@@ -252,14 +272,32 @@ class IndexStore:
         view._state = self._state
         return view
 
+    def export_snapshot(self) -> StoreState:
+        """The current generation as a self-contained, picklable payload.
+
+        This is what crosses the process boundary when a morsel backend
+        rehydrates workers: one :class:`StoreState` whose graph, primary,
+        and secondary indexes are internally consistent and immutable.
+        Pickle it *together with* any plan pinned to it (in one
+        ``pickle.dumps`` call) so the plan's index references resolve to the
+        same deserialized objects on the worker side.
+        """
+        return self._state
+
     # ------------------------------------------------------------------
     # registration
     # ------------------------------------------------------------------
     def _replace(self, **changes) -> None:
-        """Install a state derived from the current one (one atomic swap)."""
+        """Install a state derived from the current one (one atomic swap).
+
+        Every installed state gets the next generation number, so any two
+        states a store has ever held are distinguishable — the pinning
+        handle for plans and process-pool worker payloads.
+        """
         for catalog in ("vertex_indexes", "edge_indexes"):
             if catalog in changes:
                 changes[catalog] = dict(changes[catalog])
+        changes["generation"] = self._state.generation + 1
         self._state = dataclasses.replace(self._state, **changes)
 
     def register_vertex_index(self, index: VertexPartitionedIndex) -> None:

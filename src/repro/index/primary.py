@@ -179,6 +179,19 @@ class AdjacencyIndex:
         start, end = self.list_range(vertex_id, key_values)
         return end - start
 
+    def vertex_degrees(self, start: int, stop: int) -> np.ndarray:
+        """Full adjacency-list lengths of vertices ``[start, stop)``.
+
+        One vectorized diff of the CSR bound offsets — the work estimate the
+        degree-weighted morsel splitter prefix-sums to cut the scan domain
+        into equal-adjacency-work ranges
+        (:func:`repro.query.morsels.degree_weighted_ranges`).
+        """
+        vertex_ids = np.arange(start, stop, dtype=np.int64)
+        return (
+            self.csr.bound_ends(vertex_ids) - self.csr.bound_starts(vertex_ids)
+        ).astype(np.int64, copy=False)
+
     def positions_of_edges(self, edge_ids: np.ndarray) -> np.ndarray:
         """Positions of the given edges inside this index's ID lists."""
         return self._position_of_edge[np.asarray(edge_ids, dtype=np.int64)]

@@ -7,24 +7,41 @@ Query execution is serial by default and parallel on request:
 ``Database.run(query, parallelism=N)`` (or the ``REPRO_PARALLELISM``
 environment variable, or ``Database(..., parallelism=N)``) dispatches the
 plan to the morsel-driven :class:`~repro.query.executor.MorselExecutor` when
-``N >= 2``.  The scan's vertex domain is split into contiguous range morsels;
-each morsel runs the *entire* operator pipeline — scan, extend/intersect,
-multi-extend, filter — on a worker thread (the numpy batch kernels release
-the GIL), with several serial-sized batches coalesced per kernel call; the
-per-morsel outputs are merged in ascending range order.
+``N >= 2``.  The scan's vertex domain is split into contiguous range morsels
+— degree-weighted by default (:mod:`repro.query.morsels` prefix-sums the
+primary CSR offsets so each morsel carries ~equal adjacency work, which is
+what balances Zipf-skewed graphs); each morsel runs the *entire* operator
+pipeline — scan, extend/intersect, multi-extend, filter — on a pluggable
+:class:`~repro.query.backends.MorselBackend` (``backend=`` /
+``REPRO_BACKEND``): ``thread`` (default; the numpy batch kernels release the
+GIL), ``process`` (a ``multiprocessing`` pool — picklable morsel task specs
+out, columnar numpy buffers back, plan/graph rehydrated once per worker —
+sidestepping the GIL for CPU-bound plans), or ``serial`` (inline, the
+morsel-bookkeeping debug path).  Several serial-sized batches are coalesced
+per kernel call; the per-morsel outputs are merged in ascending range order.
 
-**Determinism guarantee:** for any ``parallelism``, morsel size, and batch
-coalescing factor, the produced matches, their order, and the execution
-statistics are byte-identical to the serial run (``parallelism=1``, which is
-kept as the oracle).  This holds because every operator emits output rows in
-input-row order and the batch kernels are row-segmented, so batch and morsel
-boundaries can never change *what* is produced, only how it is grouped into
-batches in flight.
+**Determinism guarantee:** for any ``parallelism``, backend, morsel
+weighting, morsel size, and batch coalescing factor, the produced matches,
+their order, and the execution statistics are byte-identical to the serial
+run (``parallelism=1``, which is kept as the oracle).  This holds because
+every operator emits output rows in input-row order and the batch kernels
+are row-segmented, so batch and morsel boundaries can never change *what* is
+produced, only how it is grouped into batches in flight.
 """
 
+from .backends import (
+    BACKENDS,
+    MorselBackend,
+    MorselTaskSpec,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    WorkerPayload,
+)
 from .binding import MatchBatch, concat_batches
 from .engine import Database, IndexCreationResult
 from .executor import Executor, MorselExecutor, QueryResult
+from .morsels import degree_weighted_ranges, even_ranges, ranges_of_size
 from .naive import NaiveMatcher
 from .operators import (
     ExecutionContext,
@@ -54,6 +71,7 @@ from .predicates import (
 )
 
 __all__ = [
+    "BACKENDS",
     "CompareOp",
     "Comparison",
     "Constant",
@@ -67,11 +85,14 @@ __all__ = [
     "Filter",
     "IndexCreationResult",
     "MatchBatch",
+    "MorselBackend",
     "MorselExecutor",
+    "MorselTaskSpec",
     "MultiExtend",
     "NaiveMatcher",
     "Optimizer",
     "Predicate",
+    "ProcessBackend",
     "PropertyRef",
     "QueryEdge",
     "QueryGraph",
@@ -79,12 +100,18 @@ __all__ = [
     "QueryResult",
     "QueryVertex",
     "ScanVertices",
+    "SerialBackend",
     "SortedRangeFilter",
+    "ThreadBackend",
+    "WorkerPayload",
     "cmp",
     "comparison_subsumes",
     "concat_batches",
     "const",
+    "degree_weighted_ranges",
+    "even_ranges",
     "predicate_subsumes",
     "prop",
+    "ranges_of_size",
     "residual_conjuncts",
 ]

@@ -1,0 +1,472 @@
+"""Morsel-dispatch backends: serial, thread-pool, and process-pool execution.
+
+The morsel dispatcher (:class:`~repro.query.executor.MorselExecutor`) owns
+*what* runs — the per-range operator pipeline — and *in which order* results
+merge (ascending range order, the determinism contract).  A
+:class:`MorselBackend` owns only *where* each morsel body runs:
+
+* :class:`SerialBackend` — runs each morsel inline on the caller's thread.
+  Exercises the full morsel/merge bookkeeping without any concurrency; the
+  cheapest way to debug a morsel-boundary issue.
+* :class:`ThreadBackend` — a ``ThreadPoolExecutor`` (the PR 4 behaviour).
+  The numpy kernels release the GIL, so threads overlap on multi-core
+  machines; the Python orchestration between kernels still serializes on
+  GIL builds.
+* :class:`ProcessBackend` — a ``multiprocessing`` pool.  Sidesteps the GIL
+  entirely: the Python orchestration of different morsels runs in different
+  interpreters.  The parent ships one pickled :class:`WorkerPayload` (plan +
+  graph + batch size) per worker through the pool initializer — *worker
+  rehydration* — and afterwards only tiny :class:`MorselTaskSpec` messages
+  (plan id + vertex range + pinned store generation) cross the pipe per
+  morsel.  Results travel back *columnar*: the raw numpy column buffers of
+  each batch plus a stats tuple, never per-row match dicts, so transport
+  cost is one buffer copy per column.
+
+Every backend yields byte-identical results: each runs the same
+:func:`run_morsel` body over the same ranges, and the dispatcher merges
+outputs in ascending range order regardless of completion order.  The
+differential suite (``tests/test_backend_equivalence.py``) pins all three
+backends against the serial executor.
+
+Generation pinning
+------------------
+
+A plan produced by ``Database.plan`` is pinned to the index-store generation
+it was planned against (``QueryPlan.store_snapshot``).  Pickling the plan for
+a worker carries that snapshot along — the worker's copy of the plan
+references the worker's copy of that generation's graph and indexes, shared
+structurally inside the one payload pickle — so a morsel executes against
+the pinned generation even if a maintenance flush installs a newer one in
+the parent between planning and execution.  The task spec carries the pinned
+generation and the worker refuses mismatched specs, turning any routing bug
+into a loud error instead of a silently incoherent read.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import multiprocessing
+import pickle
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..graph.graph import PropertyGraph
+from .binding import MatchBatch
+from .operators import (
+    ExecutionContext,
+    ExecutionStats,
+    ExtendIntersect,
+    Filter,
+    MultiExtend,
+    ScanVertices,
+)
+from .plan import QueryPlan
+
+
+# ----------------------------------------------------------------------
+# the morsel body (shared by every backend)
+# ----------------------------------------------------------------------
+def run_pipeline(
+    plan: QueryPlan, context: ExecutionContext, scan: Optional[ScanVertices] = None
+) -> Iterator[MatchBatch]:
+    """Drive the plan's operator pipeline under ``context``.
+
+    ``scan`` optionally replaces the plan's leading scan operator (the morsel
+    dispatcher substitutes a range-restricted clone); the remaining operators
+    are shared as-is — they are stateless between calls.
+    """
+    lead = scan if scan is not None else plan.operators[0]
+    assert isinstance(lead, ScanVertices)
+    stream: Iterator[MatchBatch] = lead.execute(context)
+    for operator in plan.operators[1:]:
+        if isinstance(operator, (ExtendIntersect, MultiExtend, Filter)):
+            stream = operator.execute(stream, context)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unsupported operator {type(operator).__name__}")
+    for batch in stream:
+        context.stats.output_rows += len(batch)
+        yield batch
+
+
+def run_morsel(
+    plan: QueryPlan,
+    graph: PropertyGraph,
+    batch_size: int,
+    start: int,
+    stop: int,
+) -> Tuple[List[MatchBatch], ExecutionStats]:
+    """Run the full pipeline over one vertex-range morsel.
+
+    ``batch_size`` is the *in-flight* batch size (the dispatcher passes the
+    coalesced size); the dispatcher re-splits the returned batches to its
+    emission size.
+    """
+    stats = ExecutionStats()
+    context = ExecutionContext(
+        graph=graph, query=plan.query, batch_size=batch_size, stats=stats
+    )
+    scan = replace(plan.operators[0], vertex_range=(start, stop))
+    batches = list(run_pipeline(plan, context, scan=scan))
+    return batches, stats
+
+
+# ----------------------------------------------------------------------
+# columnar result transport
+# ----------------------------------------------------------------------
+#: One encoded batch: the column names and the raw numpy column buffers.
+EncodedBatch = Tuple[Tuple[str, ...], List[np.ndarray]]
+
+
+def encode_batches(batches: Sequence[MatchBatch]) -> List[EncodedBatch]:
+    """Strip batches down to raw column buffers for cross-process transport."""
+    return [
+        (tuple(batch.variables), [batch.column(name) for name in batch.variables])
+        for batch in batches
+    ]
+
+
+def decode_batches(encoded: Sequence[EncodedBatch]) -> List[MatchBatch]:
+    """Rebuild :class:`MatchBatch` objects from their raw column buffers."""
+    return [
+        MatchBatch(dict(zip(names, columns))) for names, columns in encoded
+    ]
+
+
+# ----------------------------------------------------------------------
+# process-backend wire format
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MorselTaskSpec:
+    """One morsel of work, as shipped to a process-pool worker.
+
+    Deliberately tiny and plain (four ints/None): the heavy state — plan,
+    graph, indexes — travels once per worker inside :class:`WorkerPayload`;
+    afterwards each morsel costs one of these over the pipe.
+
+    Attributes:
+        plan_id: identifies the payload the task belongs to; must match the
+            worker's rehydrated payload.
+        generation: the index-store generation the plan is pinned to
+            (``None`` for hand-built plans without a snapshot); must match
+            the payload's generation — a mismatch means the parent tried to
+            run a task against a worker rehydrated from a different store
+            state, which would silently mix edge/vertex IDs across flush
+            remappings.
+        start, stop: the half-open vertex-ID range of the morsel.
+    """
+
+    plan_id: int
+    generation: Optional[int]
+    start: int
+    stop: int
+
+
+@dataclass
+class WorkerPayload:
+    """Everything a process-pool worker needs to execute morsel tasks.
+
+    Pickled once in the parent and shipped through the pool initializer, so
+    every worker rehydrates the same plan/graph generation exactly once.
+    The plan's ``store_snapshot`` (when present) rides along inside the same
+    pickle, so the plan's index references and ``graph`` stay one shared,
+    internally consistent object graph on the worker side.
+    """
+
+    plan_id: int
+    generation: Optional[int]
+    plan: QueryPlan
+    graph: PropertyGraph
+    batch_size: int
+
+
+#: Per-process registry of the payload the pool initializer rehydrated.
+_WORKER_PAYLOAD: Optional[WorkerPayload] = None
+
+#: How long the process backend waits for a pool worker to prove it
+#: initialized before failing the query (generous: spawn starts a fresh
+#: interpreter per worker; healthy fork pools answer in milliseconds).
+WORKER_STARTUP_TIMEOUT_SECONDS = 30.0
+
+#: Monotonic ids tying task specs to the payload they belong to.
+_PLAN_IDS = itertools.count(1)
+
+
+def _process_worker_init(payload_bytes: bytes) -> None:
+    """Pool initializer: rehydrate the plan/graph payload once per worker.
+
+    Runs ``pickle.loads`` even under the ``fork`` start method (where the
+    bytes are inherited copy-on-write) so every start method exercises the
+    same rehydration path and the payload's picklability is guaranteed
+    everywhere, not just on spawn-only platforms.
+    """
+    global _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = pickle.loads(payload_bytes)
+
+
+def _process_worker_ready() -> bool:
+    """Health probe: True once this worker has rehydrated its payload."""
+    return _WORKER_PAYLOAD is not None
+
+
+def _process_worker_run(
+    spec: MorselTaskSpec,
+) -> Tuple[List[EncodedBatch], Tuple[int, ...]]:
+    """Worker body: validate the spec, run the morsel, return columnar results."""
+    payload = _WORKER_PAYLOAD
+    if payload is None:
+        raise ExecutionError(
+            "process-pool worker has no rehydrated payload; the pool was "
+            "created without the backend's initializer"
+        )
+    if spec.plan_id != payload.plan_id or spec.generation != payload.generation:
+        raise ExecutionError(
+            f"morsel task spec (plan {spec.plan_id}, generation "
+            f"{spec.generation}) does not match the worker's rehydrated "
+            f"payload (plan {payload.plan_id}, generation "
+            f"{payload.generation}); tasks and payloads from different "
+            "store generations must not mix"
+        )
+    batches, stats = run_morsel(
+        payload.plan, payload.graph, payload.batch_size, spec.start, spec.stop
+    )
+    return encode_batches(batches), dataclasses.astuple(stats)
+
+
+def preferred_start_method() -> str:
+    """The start method the process backend uses on this platform.
+
+    The platform's *default* start method, deliberately: where that default
+    is ``fork`` (Linux), workers inherit the parent's memory copy-on-write
+    and pool startup costs milliseconds.  Platforms whose default is
+    ``spawn`` (Windows, macOS) keep it even though ``fork`` may be
+    *offered* — CPython demoted fork there because forked children can
+    crash inside the Objective-C runtime — so the backend stays safe but
+    per-query pool creation is expensive (a fresh interpreter + re-import
+    per worker); the benchmark harness skips the process scenarios there
+    (``requires_fork`` in the baseline).
+    """
+    return multiprocessing.get_start_method()
+
+
+def fork_available() -> bool:
+    """True when process pools can be started cheaply (fork is the default)."""
+    return preferred_start_method() == "fork"
+
+
+# ----------------------------------------------------------------------
+# backends
+# ----------------------------------------------------------------------
+class MorselBackend:
+    """Where morsel bodies run; the dispatcher owns ordering and merging.
+
+    Lifecycle: the dispatcher calls :meth:`open` once per ``execute``, then
+    interleaves :meth:`submit` (hand over one ``[start, stop)`` range,
+    returning an opaque handle) and :meth:`result` (block for one handle's
+    ``(batches, stats)``), and finally :meth:`close` — also on abandonment,
+    so backends must tolerate ``close`` with submissions outstanding.
+    Instances are single-use per ``execute`` call but may be reused
+    sequentially; they hold no state between ``open`` calls.
+
+    ``submit`` may run the morsel eagerly, lazily, or remotely — the only
+    contract is that ``result(handle)`` returns exactly the output of
+    :func:`run_morsel` for the submitted range.  The dispatcher retrieves
+    handles in submission (= ascending range) order, which is what makes
+    every backend's merged output byte-identical to the serial executor.
+    """
+
+    #: Registry name (also the ``Database.run(backend=...)`` spelling).
+    name = "abstract"
+
+    def open(self, executor, plan: QueryPlan) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def submit(self, start: int, stop: int):  # pragma: no cover
+        raise NotImplementedError
+
+    def result(self, handle) -> Tuple[List[MatchBatch], ExecutionStats]:
+        raise NotImplementedError  # pragma: no cover
+
+    def close(self) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class SerialBackend(MorselBackend):
+    """Run every morsel inline on the caller's thread (no concurrency).
+
+    ``submit`` just records the range; the morsel runs lazily inside
+    :meth:`result`, so peak memory matches the windowed parallel backends
+    instead of materializing the whole result at submission time.
+    """
+
+    name = "serial"
+
+    def open(self, executor, plan: QueryPlan) -> None:
+        self._plan = plan
+        self._graph = executor.graph
+        self._batch_size = executor.batch_size * executor.coalesce
+
+    def submit(self, start: int, stop: int) -> Tuple[int, int]:
+        return (start, stop)
+
+    def result(self, handle) -> Tuple[List[MatchBatch], ExecutionStats]:
+        start, stop = handle
+        return run_morsel(self._plan, self._graph, self._batch_size, start, stop)
+
+    def close(self) -> None:
+        self._plan = None
+        self._graph = None
+
+
+class ThreadBackend(MorselBackend):
+    """Run morsels on a thread pool (the numpy kernels release the GIL)."""
+
+    name = "thread"
+
+    def open(self, executor, plan: QueryPlan) -> None:
+        self._plan = plan
+        self._graph = executor.graph
+        self._batch_size = executor.batch_size * executor.coalesce
+        self._pool = ThreadPoolExecutor(max_workers=executor.num_workers)
+
+    def submit(self, start: int, stop: int):
+        return self._pool.submit(
+            run_morsel, self._plan, self._graph, self._batch_size, start, stop
+        )
+
+    def result(self, handle) -> Tuple[List[MatchBatch], ExecutionStats]:
+        return handle.result()
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=True)
+
+
+class ProcessBackend(MorselBackend):
+    """Run morsels on a ``multiprocessing`` pool with worker rehydration.
+
+    ``open`` pickles one :class:`WorkerPayload` and hands it to every worker
+    through the pool initializer; ``submit`` ships a :class:`MorselTaskSpec`
+    per morsel; ``result`` decodes the columnar reply back into
+    :class:`MatchBatch` objects and an :class:`ExecutionStats`.
+    """
+
+    name = "process"
+
+    @staticmethod
+    def _start_method() -> str:
+        """Start method for this pool, adjusted for parent-side threads.
+
+        ``fork``-ing a multi-threaded parent is unsafe: a lock held by a
+        sibling thread at the moment of the fork (allocator arenas, another
+        query's pool machinery) stays locked forever in the child, which
+        then deadlocks inside the worker initializer.  When other threads
+        are alive — e.g. queries on the thread backend running concurrently
+        — fall back to ``forkserver``, which forks from a clean
+        single-threaded server process instead of this one.  The fallback
+        carries the standard spawn-family contract (the Linux *default*
+        from Python 3.14): the parent's ``__main__`` must be import-safe —
+        guard top-level pool-creating code with ``if __name__ ==
+        "__main__"`` — and multiprocessing raises its usual bootstrapping
+        error (or :func:`open`'s startup health check fires) when it is not.
+        """
+        method = preferred_start_method()
+        if method == "fork" and threading.active_count() > 1:
+            if "forkserver" in multiprocessing.get_all_start_methods():
+                return "forkserver"
+        return method
+
+    def open(self, executor, plan: QueryPlan) -> None:
+        plan_id = next(_PLAN_IDS)
+        payload = WorkerPayload(
+            plan_id=plan_id,
+            generation=plan.pinned_generation,
+            plan=plan,
+            graph=executor.graph,
+            batch_size=executor.batch_size * executor.coalesce,
+        )
+        self._plan_id = plan_id
+        self._generation = payload.generation
+        method = self._start_method()
+        context = multiprocessing.get_context(method)
+        self._pool = context.Pool(
+            processes=executor.num_workers,
+            initializer=_process_worker_init,
+            initargs=(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),),
+        )
+        # Prove one worker came up before accepting morsels.  A pool whose
+        # workers die during startup (e.g. forkserver/spawn re-importing a
+        # parent ``__main__`` that is not importable — a REPL or stdin
+        # script) respawns them forever while queued tasks wait — a silent
+        # livelock; this converts it into a loud, actionable error.
+        probe = self._pool.apply_async(_process_worker_ready)
+        try:
+            ready = probe.get(timeout=WORKER_STARTUP_TIMEOUT_SECONDS)
+        except multiprocessing.TimeoutError:
+            self.close()
+            raise ExecutionError(
+                f"process-backend workers failed to start within "
+                f"{WORKER_STARTUP_TIMEOUT_SECONDS:.0f}s (start method "
+                f"{method!r}).  Under the forkserver/spawn start methods "
+                "the parent's __main__ must be importable — run from a "
+                "script or module, not a REPL/stdin program, or use the "
+                "thread backend"
+            ) from None
+        except BaseException:
+            # KeyboardInterrupt (or any other failure) while waiting must
+            # not orphan the just-spawned workers: the dispatcher only
+            # close()s backends whose open() returned.
+            self.close()
+            raise
+        if not ready:  # pragma: no cover - defensive
+            self.close()
+            raise ExecutionError(
+                "process-backend worker started without a rehydrated payload"
+            )
+
+    def submit(self, start: int, stop: int):
+        spec = MorselTaskSpec(
+            plan_id=self._plan_id,
+            generation=self._generation,
+            start=start,
+            stop=stop,
+        )
+        return self._pool.apply_async(_process_worker_run, (spec,))
+
+    def result(self, handle) -> Tuple[List[MatchBatch], ExecutionStats]:
+        encoded, stats_tuple = handle.get()
+        return decode_batches(encoded), ExecutionStats(*stats_tuple)
+
+    def close(self) -> None:
+        # All retrieved results are already materialized in the parent, so
+        # terminate (rather than drain) any submissions an abandoned
+        # iteration left behind.
+        self._pool.terminate()
+        self._pool.join()
+
+
+#: Registry of backend names accepted by ``MorselExecutor``/``Database``.
+BACKENDS: Dict[str, Type[MorselBackend]] = {
+    backend.name: backend
+    for backend in (SerialBackend, ThreadBackend, ProcessBackend)
+}
+
+#: Backend used when neither the call, the instance, nor the environment
+#: picks one.
+DEFAULT_BACKEND = ThreadBackend.name
+
+
+def resolve_backend(backend) -> MorselBackend:
+    """A ready-to-open backend instance from a name or an instance."""
+    if isinstance(backend, MorselBackend):
+        return backend
+    try:
+        return BACKENDS[backend]()
+    except (KeyError, TypeError):
+        raise ExecutionError(
+            f"unknown morsel backend {backend!r}; available: {sorted(BACKENDS)}"
+        ) from None

@@ -41,6 +41,7 @@ from ..index.primary import PrimaryIndex, ReconfigurationResult
 from ..index.vertex_partitioned import VertexPartitionedIndex
 from ..index.views import OneHopView, TwoHopView
 from ..storage.memory import MemoryReport
+from .backends import BACKENDS, DEFAULT_BACKEND, MorselBackend
 from .executor import Executor, MorselExecutor, QueryResult
 from .optimizer import Optimizer
 from .pattern import QueryGraph
@@ -60,6 +61,11 @@ class IndexCreationResult:
 #: (used by CI to push the whole test suite through the parallel path).
 PARALLELISM_ENV_VAR = "REPRO_PARALLELISM"
 
+#: Environment variable supplying the default morsel-dispatch backend of
+#: ``Database.run`` (``serial``, ``thread``, or ``process``; used by CI to
+#: push the whole test suite through the process-pool path).
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
 
 class Database:
     """An in-memory GDBMS instance with a tunable A+ indexing subsystem.
@@ -67,19 +73,24 @@ class Database:
     Parallel execution
     ------------------
 
-    ``run``/``count`` accept a ``parallelism`` worker count.  With the
-    default of ``1`` the plan runs on the serial batch
-    :class:`~repro.query.executor.Executor` — the oracle path.  With
-    ``parallelism >= 2`` the plan runs on the morsel-driven
+    ``run``/``count`` accept a ``parallelism`` worker count and a morsel
+    dispatch ``backend``.  With the default ``parallelism=1`` the plan runs
+    on the serial batch :class:`~repro.query.executor.Executor` — the oracle
+    path.  With ``parallelism >= 2`` the plan runs on the morsel-driven
     :class:`~repro.query.executor.MorselExecutor`: the scan's vertex domain
-    is split into contiguous range morsels, the full operator pipeline runs
-    per morsel on a thread pool (the numpy kernels release the GIL), and the
-    per-morsel outputs are merged in ascending range order.  The parallel
-    result is byte-identical to the serial one — same match rows, same
-    order, same :class:`~repro.query.operators.ExecutionStats` — so the knob
-    trades only wall-clock time, never semantics.  The per-instance default
-    comes from the constructor's ``parallelism`` or, failing that, the
-    ``REPRO_PARALLELISM`` environment variable.
+    is split into contiguous range morsels (degree-weighted by default, so
+    each morsel carries ~equal adjacency work even on skewed graphs), the
+    full operator pipeline runs per morsel on the selected backend —
+    ``"thread"`` (default; numpy kernels release the GIL), ``"process"``
+    (a ``multiprocessing`` pool with per-worker plan/graph rehydration,
+    sidestepping the GIL entirely), or ``"serial"`` (inline, for debugging
+    morsel bookkeeping) — and the per-morsel outputs are merged in
+    ascending range order.  Every backend's result is byte-identical to the
+    serial one — same match rows, same order, same
+    :class:`~repro.query.operators.ExecutionStats` — so both knobs trade
+    only wall-clock time, never semantics.  Per-instance defaults come from
+    the constructor's ``parallelism``/``backend`` or, failing that, the
+    ``REPRO_PARALLELISM``/``REPRO_BACKEND`` environment variables.
 
     Queries capture an atomic snapshot of the index store when planned, so
     running queries concurrently with an
@@ -93,11 +104,13 @@ class Database:
         primary_config: Optional[IndexConfig] = None,
         batch_size: int = 1024,
         parallelism: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self._primary = PrimaryIndex(graph, config=primary_config)
         self.store = IndexStore(graph, self._primary)
         self.batch_size = batch_size
         self.parallelism = parallelism
+        self.backend = backend
 
     def _resolve_parallelism(self, parallelism: Optional[int]) -> int:
         """Effective worker count: call arg > instance default > env > 1."""
@@ -119,13 +132,55 @@ class Database:
             raise ExecutionError(f"parallelism must be >= 1, got {parallelism}")
         return int(parallelism)
 
+    def _resolve_backend(self, backend: Optional[str]) -> str:
+        """Effective dispatch backend name: call arg > instance > env > thread.
+
+        Only registry *names* are accepted here (a fresh backend object is
+        constructed per execution from the name): a ``MorselBackend``
+        *instance* is stateful per-execute, and a shared ``Database`` runs
+        queries concurrently, so one instance serving several in-flight
+        queries would clobber its own pool.  Callers who really want to
+        supply an instance (custom backends, tests) construct a
+        :class:`~repro.query.executor.MorselExecutor` directly and own its
+        concurrency.
+        """
+        if backend is None:
+            backend = self.backend
+        if backend is None:
+            backend = os.environ.get(BACKEND_ENV_VAR, "").strip() or DEFAULT_BACKEND
+        if isinstance(backend, MorselBackend):
+            raise ExecutionError(
+                "Database accepts morsel backend *names* "
+                f"({sorted(BACKENDS)}), not instances — a backend instance "
+                "is stateful per-execute and cannot serve concurrent "
+                "queries; build a MorselExecutor directly to use one"
+            )
+        backend = str(backend).strip().lower()
+        if backend not in BACKENDS:
+            raise ExecutionError(
+                f"unknown morsel backend {backend!r} "
+                f"(from backend=/${BACKEND_ENV_VAR}); "
+                f"available: {sorted(BACKENDS)}"
+            )
+        return backend
+
     def _make_executor(
-        self, graph: PropertyGraph, workers: int
+        self,
+        graph: PropertyGraph,
+        workers: int,
+        backend: Optional[str] = None,
     ) -> Union[Executor, MorselExecutor]:
+        # Resolve (and thereby validate) the backend even on the serial
+        # path, so a typo'd backend=/REPRO_BACKEND surfaces at the call
+        # that configured it rather than when parallelism is later raised.
+        backend = self._resolve_backend(backend)
         if workers == 1:
             return Executor(graph, batch_size=self.batch_size)
         return MorselExecutor(
-            graph, batch_size=self.batch_size, num_workers=workers
+            graph,
+            batch_size=self.batch_size,
+            num_workers=workers,
+            backend=backend,
         )
 
     # ------------------------------------------------------------------
@@ -141,7 +196,9 @@ class Database:
         return self.store.primary
 
     def executor(
-        self, parallelism: Optional[int] = None
+        self,
+        parallelism: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> Union[Executor, MorselExecutor]:
         """An executor over the current graph (parallel when workers > 1).
 
@@ -150,7 +207,9 @@ class Database:
         maintenance flushes may run concurrently.
         """
         return self._make_executor(
-            self.store.snapshot().graph, self._resolve_parallelism(parallelism)
+            self.store.snapshot().graph,
+            self._resolve_parallelism(parallelism),
+            backend,
         )
 
     def optimizer(self) -> Optimizer:
@@ -287,6 +346,7 @@ class Database:
         query: Union[QueryGraph, QueryPlan],
         materialize: bool = False,
         parallelism: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> QueryResult:
         """Plan (if needed) and execute a query.
 
@@ -300,6 +360,9 @@ class Database:
             parallelism: worker count; ``1`` (the default) runs serially,
                 ``>= 2`` runs the morsel-driven parallel executor.  The
                 output is byte-identical either way.
+            backend: morsel dispatch backend for ``parallelism >= 2`` —
+                ``"serial"``, ``"thread"`` (default), or ``"process"``.
+                Output is byte-identical across backends.
         """
         workers = self._resolve_parallelism(parallelism)
         # Plan and execute against one coherent store generation so a
@@ -317,7 +380,7 @@ class Database:
             snapshot = self.store.snapshot()
             plan = Optimizer(snapshot).optimize(query)
             plan.store_snapshot = snapshot
-        return self._make_executor(snapshot.graph, workers).run(
+        return self._make_executor(snapshot.graph, workers, backend).run(
             plan, materialize=materialize
         )
 
@@ -325,9 +388,10 @@ class Database:
         self,
         query: Union[QueryGraph, QueryPlan],
         parallelism: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> int:
         """Number of matches of a query."""
-        return self.run(query, parallelism=parallelism).count
+        return self.run(query, parallelism=parallelism, backend=backend).count
 
     # ------------------------------------------------------------------
     # reporting
@@ -342,18 +406,33 @@ class Database:
     def describe(self) -> str:
         lines = [self.graph.describe(), self.store.describe()]
         default = self._resolve_parallelism(None)
+        backend_name = self._resolve_backend(None)
         lines.append(
             "Parallel execution:\n"
             f"  default parallelism: {default} "
             f"(constructor parallelism= or ${PARALLELISM_ENV_VAR}; "
             "run()/count() accept a per-query override)\n"
+            f"  default backend: {backend_name} "
+            f"(constructor backend= or ${BACKEND_ENV_VAR}; "
+            f"available: {', '.join(sorted(BACKENDS))})\n"
             "  parallelism=1 runs the serial batch executor (the oracle); "
             ">=2 runs the\n"
-            "  morsel-driven dispatcher: contiguous vertex-range morsels of "
-            "the scan domain\n"
-            "  are executed through the full pipeline on a thread pool and "
-            "merged in range\n"
-            "  order — matches, order, and stats are byte-identical to the "
-            "serial run."
+            "  morsel-driven dispatcher: the scan domain is cut into "
+            "contiguous vertex-range\n"
+            "  morsels (degree-weighted via the primary CSR offsets, so "
+            "each morsel carries\n"
+            "  ~equal adjacency work on skewed graphs), the full pipeline "
+            "runs per morsel on\n"
+            "  the selected backend — serial (inline), thread (GIL-releasing "
+            "numpy kernels),\n"
+            "  or process (multiprocessing pool: plan+graph rehydrated once "
+            "per worker,\n"
+            "  per-morsel task specs out, columnar numpy buffers back) — "
+            "and outputs merge\n"
+            "  in ascending range order.  Determinism contract: matches, "
+            "order, and stats\n"
+            "  are byte-identical to the serial run for every backend, "
+            "weighting, morsel\n"
+            "  size, and worker count."
         )
         return "\n".join(lines)

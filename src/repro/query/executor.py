@@ -12,52 +12,71 @@ Morsel-driven parallel execution
 :class:`MorselExecutor` parallelizes a plan the way morsel-driven schedulers
 (Leis et al.) do: the scan's candidate domain — the vertex-ID range of the
 leading :class:`~repro.query.operators.ScanVertices` — is split into
-contiguous *morsels*, and the **full operator pipeline** runs per morsel on a
-thread pool.  Every operator is already batch-at-a-time and stateless (the
-scan is cloned per morsel with an explicit ``vertex_range``; extension and
-filter operators share immutable configuration and index references), so no
-operator semantics change: each morsel's pipeline is exactly the serial
-pipeline over a sub-range of the scan.
+contiguous *morsels*, and the **full operator pipeline** runs per morsel.
+Every operator is already batch-at-a-time and stateless (the scan is cloned
+per morsel with an explicit ``vertex_range``; extension and filter operators
+share immutable configuration and index references), so no operator
+semantics change: each morsel's pipeline is exactly the serial pipeline over
+a sub-range of the scan.
 
-Two properties make this profitable and safe in pure Python + numpy:
+The dispatcher is split along two orthogonal axes:
 
-* the hot kernels (``NestedCSR.gather``, ``intersect_segments``, vectorized
-  predicate masks) spend their time inside numpy, which releases the GIL for
-  its inner loops, so threads overlap on multi-core machines;
-* inside a morsel the dispatcher runs the pipeline with a *coalesced* batch
-  size (``coalesce`` × the configured batch size), so several serial-sized
-  batches are joined per kernel call — the larger-than-batch intersection
-  the kernels were built for — without changing the produced rows.
+* **where morsels run** — a pluggable :class:`~repro.query.backends
+  .MorselBackend`: ``serial`` (inline, for debugging the morsel
+  bookkeeping), ``thread`` (a thread pool; the numpy kernels release the GIL
+  for their inner loops, so threads overlap on multi-core machines), or
+  ``process`` (a ``multiprocessing`` pool that sidesteps the GIL entirely —
+  picklable task specs out, columnar numpy buffers back; see
+  :mod:`repro.query.backends`);
+* **how the domain is cut** — a weighting strategy from
+  :mod:`repro.query.morsels`: ``degree`` (the default) prefix-sums the
+  primary index's CSR list lengths so each morsel carries roughly equal
+  *adjacency work*, which is what balances Zipf-skewed graphs; ``even``
+  cuts equal vertex-count ranges (the PR 4 behaviour).  Degree weighting
+  over-partitions (``STEAL_SPLIT_FACTOR`` × more, smaller morsels) so idle
+  workers keep pulling queued morsels while a heavy one is in flight —
+  bounded work-stealing through the pool's queue, with the in-flight window
+  capping buffered results.
+
+Inside a morsel the dispatcher runs the pipeline with a *coalesced* batch
+size (``coalesce`` × the configured batch size), so several serial-sized
+batches are joined per kernel call — the larger-than-batch intersection the
+kernels were built for — without changing the produced rows.
 
 **Determinism.**  Extension operators emit output rows in input-row order and
 batch boundaries never affect which rows are produced (the batch kernels are
 row-segmented), so the concatenation of per-morsel outputs in ascending
-range order is *byte-identical* to the serial executor's output: same match
-rows in the same order, and — because every stats counter is per-row
-accounting — identical :class:`~repro.query.operators.ExecutionStats`.
+range order is *byte-identical* to the serial executor's output — same match
+rows in the same order, and, because every stats counter is per-row
+accounting, identical :class:`~repro.query.operators.ExecutionStats` — for
+**every** backend × weighting × morsel size × worker count combination.
 ``parallelism=1`` (the default everywhere) bypasses the dispatcher entirely
-and remains the oracle the parallel path is tested against.
+and remains the oracle the parallel paths are tested against
+(``tests/test_backend_equivalence.py``).
 """
 
 from __future__ import annotations
 
 import time
 from collections import deque
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, replace
-from typing import Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
 
 from ..errors import ExecutionError
 from ..graph.graph import PropertyGraph
-from .binding import DEFAULT_BATCH_SIZE, MatchBatch
-from .operators import (
-    ExecutionContext,
-    ExecutionStats,
-    ExtendIntersect,
-    Filter,
-    MultiExtend,
-    ScanVertices,
+from ..graph.types import Direction
+from .backends import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    MorselBackend,
+    resolve_backend,
+    run_pipeline,
 )
+from .binding import DEFAULT_BATCH_SIZE, MatchBatch
+from .morsels import degree_weighted_ranges, even_ranges, ranges_of_size
+from .operators import ExecutionContext, ExecutionStats, ScanVertices
 from .plan import QueryPlan
 
 
@@ -72,28 +91,6 @@ class QueryResult:
 
     def __len__(self) -> int:
         return self.count
-
-
-def _run_pipeline(
-    plan: QueryPlan, context: ExecutionContext, scan: Optional[ScanVertices] = None
-) -> Iterator[MatchBatch]:
-    """Drive the plan's operator pipeline under ``context``.
-
-    ``scan`` optionally replaces the plan's leading scan operator (the morsel
-    dispatcher substitutes a range-restricted clone); the remaining operators
-    are shared as-is — they are stateless between calls.
-    """
-    lead = scan if scan is not None else plan.operators[0]
-    assert isinstance(lead, ScanVertices)
-    stream: Iterator[MatchBatch] = lead.execute(context)
-    for operator in plan.operators[1:]:
-        if isinstance(operator, (ExtendIntersect, MultiExtend, Filter)):
-            stream = operator.execute(stream, context)
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unsupported operator {type(operator).__name__}")
-    for batch in stream:
-        context.stats.output_rows += len(batch)
-        yield batch
 
 
 class PlanRunner:
@@ -157,12 +154,20 @@ class Executor(PlanRunner):
             batch_size=self.batch_size,
             stats=stats or ExecutionStats(),
         )
-        yield from _run_pipeline(plan, context)
+        yield from run_pipeline(plan, context)
 
 
 #: Morsels handed out per worker (load-balancing granularity of the default
 #: morsel size: more morsels than workers lets fast workers steal the tail).
 MORSELS_PER_WORKER = 4
+
+#: Extra over-partitioning of degree-weighted morsels: the weighted splitter
+#: targets ``workers × MORSELS_PER_WORKER × STEAL_SPLIT_FACTOR`` morsels, so
+#: workers that finish early keep stealing queued (smaller) morsels while a
+#: heavy one is still in flight.  Bounded: the in-flight window caps how many
+#: completed-but-unmerged results can pile up, and the splitter never cuts
+#: below one vertex per morsel.
+STEAL_SPLIT_FACTOR = 2
 
 #: Serial-sized batches coalesced into one in-flight batch inside a morsel.
 #: Larger batches amortize the per-kernel-call Python overhead (one gather /
@@ -178,6 +183,9 @@ DEFAULT_COALESCE = 2
 #: the window (× the largest morsel output), not to the whole query result.
 MORSEL_WINDOW_PER_WORKER = 2
 
+#: Morsel weighting strategies accepted by :class:`MorselExecutor`.
+WEIGHTINGS = ("degree", "even")
+
 
 class MorselExecutor(PlanRunner):
     """Morsel-driven parallel plan execution with deterministic merge order.
@@ -187,14 +195,21 @@ class MorselExecutor(PlanRunner):
         batch_size: row count of the batches the executor *emits* (the same
             contract as :class:`Executor`; inside a morsel the pipeline runs
             with ``batch_size * coalesce`` rows in flight).
-        num_workers: thread-pool width.  ``1`` still runs through the
+        num_workers: worker-pool width.  ``1`` still runs through the
             dispatcher (useful for testing morsel bookkeeping); use
             :class:`Executor` for the true serial path.
-        morsel_size: vertices per morsel.  Defaults to an even split of the
-            scan domain into ``num_workers * MORSELS_PER_WORKER`` ranges; set
-            explicitly to exercise boundary cases (single-vertex morsels,
-            morsels smaller than a batch).
+        morsel_size: vertices per morsel.  ``None`` (the default) derives
+            morsels from ``weighting``; an explicit size forces fixed-size
+            even ranges regardless of weighting — the boundary-case knob
+            (single-vertex morsels, morsels smaller than a batch).
         coalesce: in-morsel batch coalescing factor (>= 1).
+        backend: where morsel bodies run — a name from
+            :data:`~repro.query.backends.BACKENDS` (``"serial"``,
+            ``"thread"``, ``"process"``) or a
+            :class:`~repro.query.backends.MorselBackend` instance.
+        weighting: how the scan domain is cut — ``"degree"`` (equal
+            adjacency work per morsel, prefix-summed from the primary CSR
+            offsets; the default) or ``"even"`` (equal vertex counts).
     """
 
     def __init__(
@@ -204,6 +219,8 @@ class MorselExecutor(PlanRunner):
         num_workers: int = 4,
         morsel_size: Optional[int] = None,
         coalesce: int = DEFAULT_COALESCE,
+        backend: Union[str, MorselBackend] = DEFAULT_BACKEND,
+        weighting: str = "degree",
     ) -> None:
         if num_workers < 1:
             raise ExecutionError(f"num_workers must be >= 1, got {num_workers}")
@@ -211,80 +228,127 @@ class MorselExecutor(PlanRunner):
             raise ExecutionError(f"morsel_size must be >= 1, got {morsel_size}")
         if coalesce < 1:
             raise ExecutionError(f"coalesce must be >= 1, got {coalesce}")
+        if not isinstance(backend, MorselBackend) and backend not in BACKENDS:
+            raise ExecutionError(
+                f"unknown morsel backend {backend!r}; available: {sorted(BACKENDS)}"
+            )
+        if weighting not in WEIGHTINGS:
+            raise ExecutionError(
+                f"unknown morsel weighting {weighting!r}; "
+                f"available: {sorted(WEIGHTINGS)}"
+            )
         self.graph = graph
         self.batch_size = batch_size
         self.num_workers = int(num_workers)
         self.morsel_size = None if morsel_size is None else int(morsel_size)
         self.coalesce = int(coalesce)
+        self.backend = backend
+        self.weighting = weighting
 
     # ------------------------------------------------------------------
     # morsel partitioning
     # ------------------------------------------------------------------
+    def _domain_weights(self, plan: QueryPlan, lo: int, hi: int) -> np.ndarray:
+        """Per-vertex work estimate over the scan domain ``[lo, hi)``.
+
+        One unit per vertex for the scan itself, plus — for every leg
+        anywhere in the pipeline whose adjacency is read off the *scanned*
+        vertex — that vertex's list length.  List lengths come from the
+        index's CSR bound offsets when the index exposes them
+        (``vertex_degrees``; the primary adjacency indexes do) and fall back
+        to the graph's degree arrays otherwise.  Legs bound to later
+        variables read domains already redistributed by earlier extensions
+        and cannot be attributed to a scan vertex cheaply; scan-bound legs
+        are where degree skew concentrates (the hub's list is re-fetched by
+        every operator touching it), so this estimate captures the bulk of
+        the imbalance at O(domain) cost.
+        """
+        weights = np.ones(hi - lo, dtype=np.float64)
+        scan = plan.operators[0]
+        assert isinstance(scan, ScanVertices)
+        for operator in plan.operators[1:]:
+            legs = getattr(operator, "legs", None)
+            if not legs:
+                continue
+            for leg in legs:
+                if leg.access_path.uses_bound_edge or leg.bound_var != scan.var:
+                    continue
+                vertex_degrees = getattr(
+                    leg.access_path.index, "vertex_degrees", None
+                )
+                if callable(vertex_degrees):
+                    weights += vertex_degrees(lo, hi)
+                elif leg.access_path.direction is Direction.FORWARD:
+                    weights += self.graph.out_degree()[lo:hi]
+                else:
+                    weights += self.graph.in_degree()[lo:hi]
+        return weights
+
     def morsel_ranges(self, plan: QueryPlan) -> List[Tuple[int, int]]:
         """Contiguous ``[start, stop)`` vertex ranges covering the scan domain.
 
         The ranges partition the leading scan's domain in ascending order;
         concatenating per-range outputs in list order therefore reproduces
-        the serial scan order.  An explicit ``vertex_range`` on the plan's
-        scan is respected (the morsels partition that sub-range).
+        the serial scan order — regardless of whether the cuts are even or
+        degree-weighted.  An explicit ``vertex_range`` on the plan's scan is
+        respected (the morsels partition that sub-range), and an explicit
+        ``morsel_size`` forces fixed-size ranges.
         """
         scan = plan.operators[0]
         assert isinstance(scan, ScanVertices)
         lo, hi = scan.domain(self.graph)
-        domain = hi - lo
-        if domain <= 0:
+        if hi <= lo:
             return []
-        size = self.morsel_size
-        if size is None:
-            target = self.num_workers * MORSELS_PER_WORKER
-            size = max(-(-domain // target), 1)
-        return [(start, min(start + size, hi)) for start in range(lo, hi, size)]
+        if self.morsel_size is not None:
+            return ranges_of_size(lo, hi, self.morsel_size)
+        target = self.num_workers * MORSELS_PER_WORKER
+        if self.weighting == "even":
+            return even_ranges(lo, hi, target)
+        return degree_weighted_ranges(
+            lo,
+            hi,
+            target * STEAL_SPLIT_FACTOR,
+            self._domain_weights(plan, lo, hi),
+        )
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def _run_morsel(
-        self, plan: QueryPlan, lo: int, hi: int
-    ) -> Tuple[List[MatchBatch], ExecutionStats]:
-        """Run the full pipeline over one vertex-range morsel (worker body)."""
-        stats = ExecutionStats()
-        context = ExecutionContext(
-            graph=self.graph,
-            query=plan.query,
-            batch_size=self.batch_size * self.coalesce,
-            stats=stats,
-        )
-        scan = replace(plan.operators[0], vertex_range=(lo, hi))
-        batches = list(_run_pipeline(plan, context, scan=scan))
-        return batches, stats
-
     def execute(
         self, plan: QueryPlan, stats: Optional[ExecutionStats] = None
     ) -> Iterator[MatchBatch]:
         """Yield match batches in deterministic morsel order.
 
-        Morsels are dispatched through a bounded sliding window
-        (``num_workers * MORSEL_WINDOW_PER_WORKER`` in flight): workers
-        drain the window out of order, the next morsel is submitted as the
-        oldest one is consumed, and batches are yielded strictly in
-        ascending morsel order (re-split to ``batch_size`` rows) — so
-        consumers observe the exact serial row sequence while peak memory
-        stays proportional to the window, not to the whole query result.
+        Morsels are dispatched to the configured backend through a bounded
+        sliding window (``num_workers * MORSEL_WINDOW_PER_WORKER`` in
+        flight): workers drain the window out of order, the next morsel is
+        submitted as the oldest one is consumed, and batches are yielded
+        strictly in ascending morsel order (re-split to ``batch_size``
+        rows) — so consumers observe the exact serial row sequence while
+        peak memory stays proportional to the window, not to the whole
+        query result.
         """
         merged = stats if stats is not None else ExecutionStats()
-        ranges = iter(self.morsel_ranges(plan))
+        all_ranges = self.morsel_ranges(plan)
+        if not all_ranges:
+            return
+        ranges = iter(all_ranges)
         window = self.num_workers * MORSEL_WINDOW_PER_WORKER
-        with ThreadPoolExecutor(max_workers=self.num_workers) as pool:
+        backend = resolve_backend(self.backend)
+        backend.open(self, plan)
+        try:
             pending = deque()
             for lo, hi in ranges:
-                pending.append(pool.submit(self._run_morsel, plan, lo, hi))
+                pending.append(backend.submit(lo, hi))
                 if len(pending) >= window:
                     break
             while pending:
-                batches, morsel_stats = pending.popleft().result()
+                batches, morsel_stats = backend.result(pending.popleft())
                 refill = next(ranges, None)
                 if refill is not None:
-                    pending.append(pool.submit(self._run_morsel, plan, *refill))
+                    pending.append(backend.submit(*refill))
                 merged.add(morsel_stats)
                 for batch in batches:
                     yield from batch.split(self.batch_size)
+        finally:
+            backend.close()

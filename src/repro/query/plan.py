@@ -35,6 +35,17 @@ class QueryPlan:
             executes a pinned plan against this snapshot's graph.  ``None``
             for hand-built plans (tests, benchmarks), which are executed
             against whatever graph the caller supplies.
+
+    Pickling
+    --------
+
+    Plans are picklable, snapshot included: the operators reference index
+    objects, which reference the pinned generation's graph, and pickle
+    preserves that sharing inside one payload — the deserialized plan is a
+    self-contained copy that still executes against *its own* generation,
+    even if the originating store has installed newer ones since.  This is
+    how the process morsel backend rehydrates plans in pool workers
+    (:mod:`repro.query.backends`).
     """
 
     query: QueryGraph
@@ -52,6 +63,21 @@ class QueryPlan:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    @property
+    def pinned_generation(self) -> Optional[int]:
+        """Index-store generation this plan is pinned to (None if unpinned).
+
+        Read off ``store_snapshot``; survives pickling, so a plan shipped to
+        a process-pool worker still knows which generation its index
+        references belong to (the worker rejects task specs stamped with a
+        different generation).
+        """
+        snapshot = self.store_snapshot
+        if snapshot is None:
+            return None
+        state = getattr(snapshot, "state", None)
+        return getattr(state, "generation", None)
+
     def bound_variables(self) -> Set[str]:
         """Query variables bound after running the whole pipeline."""
         bound: Set[str] = set()

@@ -120,6 +120,35 @@ class TestRunCheckGate:
         )
         assert not report["ok"]
 
+    def test_requires_fork_skips_on_spawn_only_platforms(self, tmp_path):
+        baseline = _baseline(
+            tmp_path,
+            {"proc": {"min_speedup": 2.0, "requires_cpus": 4, "requires_fork": True}},
+        )
+        report = run_check(
+            baseline,
+            results=_results(
+                proc={"speedup": 0.0, "available_cpus": 8, "start_method": "spawn"}
+            ),
+            env={},
+        )
+        assert report["ok"], report["failures"]
+        assert report["skipped"] and "fork" in report["skipped"][0]
+
+    def test_requires_fork_enforced_on_fork_platforms(self, tmp_path):
+        baseline = _baseline(
+            tmp_path,
+            {"proc": {"min_speedup": 2.0, "requires_cpus": 4, "requires_fork": True}},
+        )
+        report = run_check(
+            baseline,
+            results=_results(
+                proc={"speedup": 0.9, "available_cpus": 8, "start_method": "fork"}
+            ),
+            env={},
+        )
+        assert not report["ok"]
+
     def test_advisory_on_ci_downgrades_to_warning(self, tmp_path):
         spec = {"par": {"min_speedup": 2.0, "advisory_on_ci": True}}
         results = _results(par={"speedup": 0.9, "available_cpus": 8})

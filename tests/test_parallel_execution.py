@@ -281,3 +281,56 @@ def test_invalid_parallelism_rejected(labelled_graph):
     db = Database(labelled_graph)
     with pytest.raises(ExecutionError):
         db.run(_one_leg(), parallelism=0)
+
+
+def test_backend_env_var_default(labelled_graph, monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "process")
+    db = Database(labelled_graph)
+    executor = db.executor(parallelism=4)
+    assert isinstance(executor, MorselExecutor)
+    assert executor.backend == "process"
+    # parallelism=1 stays the serial oracle regardless of the backend knob.
+    assert isinstance(db.executor(parallelism=1), Executor)
+    monkeypatch.delenv("REPRO_BACKEND")
+    assert db.executor(parallelism=4).backend == "thread"
+
+
+def test_constructor_backend_beats_env(labelled_graph, monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "thread")
+    db = Database(labelled_graph, backend="serial")
+    assert db.executor(parallelism=4).backend == "serial"
+    # The per-call argument wins over both.
+    assert db.executor(parallelism=4, backend="process").backend == "process"
+
+
+def test_invalid_backend_rejected(labelled_graph, monkeypatch):
+    from repro.errors import ExecutionError
+
+    db = Database(labelled_graph)
+    with pytest.raises(ExecutionError):
+        db.run(_one_leg(), parallelism=2, backend="gpu")
+    # The typo surfaces even when the serial path would never use it.
+    with pytest.raises(ExecutionError):
+        db.run(_one_leg(), parallelism=1, backend="gpu")
+    monkeypatch.setenv("REPRO_BACKEND", "bogus")
+    with pytest.raises(ExecutionError):
+        db.run(_one_leg(), parallelism=2)
+
+
+def test_backend_instance_rejected_by_database(labelled_graph):
+    from repro.errors import ExecutionError
+    from repro.query.backends import ThreadBackend
+
+    db = Database(labelled_graph)
+    with pytest.raises(ExecutionError, match="names"):
+        db.run(_one_leg(), parallelism=2, backend=ThreadBackend())
+
+
+def test_describe_documents_backends(labelled_graph, monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    description = Database(labelled_graph).describe()
+    assert "default backend: thread" in description
+    assert "process" in description and "serial" in description
+    assert "byte-identical" in description
+    monkeypatch.setenv("REPRO_BACKEND", "process")
+    assert "default backend: process" in Database(labelled_graph).describe()
