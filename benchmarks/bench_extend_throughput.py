@@ -37,6 +37,17 @@ plus the parallel-execution counterpart:
   (``requires_fork`` in the baseline) — per-query pool creation through a
   fresh interpreter per worker is not a meaningful measurement,
 
+* ``factorized_count`` — the star pattern (two independent forward legs off
+  the scanned vertex, the ``multi_extend`` fan-out shape) counted once
+  through the flat pipeline (every combination materialized, the seed
+  behaviour) and once through the factorized count sink (per-leg cardinality
+  segments, count = per-row product, zero combo expansion).  Both paths
+  return the identical count; the row additionally records
+  ``combos_avoided`` — the flat rows the factorized path never built.  The
+  speedup grows with the product of leg fan-outs (the asymptotic win), so
+  its floor is the one gate that checks the *shape* of the optimization, not
+  a constant-factor kernel win,
+
 * ``skewed_scan``    — the same WCOJ shape on a *hub-skewed* Zipf graph
   whose degree correlates with vertex ID (no ID shuffle): the degree-
   weighted morsel splitter (prefix-summed CSR offsets, the dispatcher
@@ -389,6 +400,80 @@ def _ab_scenario_row(name, plan_factory, baseline_factory, candidate_factory) ->
     }
 
 
+def _plan_factorized_star(store):
+    """Two independent forward legs off the scanned vertex, full domain.
+
+    The whole extension tail is a factorizable suffix: each leg's
+    cardinality per scan vertex is its forward-list length, so the flat
+    pipeline materializes ``sum(deg(a)^2)`` combination rows while the
+    factorized sink reads two offset arrays.
+    """
+    query = QueryGraph("factorized_star")
+    for name in ("a", "b1", "b2"):
+        query.add_vertex(name)
+    query.add_edge("a", "b1", name="e0")
+    query.add_edge("a", "b2", name="e1")
+    return QueryPlan(
+        query=query,
+        operators=[
+            ScanVertices(var="a"),
+            ExtendIntersect(
+                target_var="b1",
+                legs=[_leg(store, Direction.FORWARD, "a", "b1", "e0")],
+            ),
+            ExtendIntersect(
+                target_var="b2",
+                legs=[_leg(store, Direction.FORWARD, "a", "b2", "e1")],
+            ),
+        ],
+    )
+
+
+def _factorized_count_scenario_row(graph, store) -> Dict:
+    """Flat-pipeline count vs factorized count sink on the star pattern.
+
+    ``rowwise_*`` holds the flat (expand-everything) count and
+    ``vectorized_*`` the factorized one, mirroring the baseline-vs-tuned key
+    layout of the other scenarios.  Both sides run the serial executor, so
+    the ratio isolates the representation change alone.
+    """
+    flat_seconds = fact_seconds = float("inf")
+    flat_count = fact_count = combos_avoided = 0
+    executor = Executor(graph)
+    for _ in range(max(REPETITIONS, 1)):
+        plan = _plan_factorized_star(store)
+        started = time.perf_counter()
+        flat_count = executor.run(plan, factorized=False).count
+        flat_seconds = min(flat_seconds, time.perf_counter() - started)
+
+        plan = _plan_factorized_star(store)
+        started = time.perf_counter()
+        result = executor.run(plan, factorized=True)
+        fact_seconds = min(fact_seconds, time.perf_counter() - started)
+        fact_count = result.count
+        combos_avoided = result.stats.combos_avoided
+    if flat_count != fact_count:
+        raise RuntimeError(
+            f"factorized_count: paths disagree ({flat_count} vs {fact_count})"
+        )
+    if combos_avoided <= 0:
+        raise RuntimeError(
+            "factorized_count: combos_avoided is 0 — the factorized sink "
+            "expanded combinations it should have kept as segments"
+        )
+    return {
+        "extended_edges": int(fact_count),
+        "combos_avoided": int(combos_avoided),
+        "rowwise_seconds": flat_seconds,
+        "vectorized_seconds": fact_seconds,
+        "rowwise_eps": flat_count / flat_seconds if flat_seconds else 0.0,
+        "vectorized_eps": fact_count / fact_seconds if fact_seconds else 0.0,
+        "speedup": (
+            flat_seconds / fact_seconds if fact_seconds else float("inf")
+        ),
+    }
+
+
 def _parallel_scan_scenario_row(graph, store) -> Dict:
     """Serial executor vs morsel-driven thread dispatcher on the same plan."""
     row = _ab_scenario_row(
@@ -730,6 +815,9 @@ def run_benchmarks() -> Dict:
             ),
         }
     report["scenarios"]["maintenance"] = _maintenance_scenario_row()
+    report["scenarios"]["factorized_count"] = _factorized_count_scenario_row(
+        labelled_graph, labelled_store
+    )
     report["scenarios"]["parallel_scan"] = _parallel_scan_scenario_row(
         labelled_graph, labelled_store
     )

@@ -40,7 +40,8 @@ from .backends import (
 )
 from .binding import MatchBatch, concat_batches
 from .engine import Database, IndexCreationResult
-from .executor import Executor, MorselExecutor, QueryResult
+from .executor import CountSink, Executor, FlattenSink, MorselExecutor, QueryResult
+from .factorized import FactorizedBatch, FactorizedSegment
 from .morsels import degree_weighted_ranges, even_ranges, ranges_of_size
 from .naive import NaiveMatcher
 from .operators import (
@@ -76,13 +77,17 @@ __all__ = [
     "Comparison",
     "Constant",
     "CostModel",
+    "CountSink",
     "Database",
     "ExecutionContext",
     "ExecutionStats",
     "Executor",
     "ExtendIntersect",
     "ExtensionLeg",
+    "FactorizedBatch",
+    "FactorizedSegment",
     "Filter",
+    "FlattenSink",
     "IndexCreationResult",
     "MatchBatch",
     "MorselBackend",

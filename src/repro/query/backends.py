@@ -58,6 +58,7 @@ import numpy as np
 from ..errors import ExecutionError
 from ..graph.graph import PropertyGraph
 from .binding import MatchBatch
+from .factorized import FactorizedBatch, FactorizedSegment
 from .operators import (
     ExecutionContext,
     ExecutionStats,
@@ -94,25 +95,69 @@ def run_pipeline(
         yield batch
 
 
+def run_pipeline_factorized(
+    plan: QueryPlan, context: ExecutionContext, scan: Optional[ScanVertices] = None
+) -> Iterator[FactorizedBatch]:
+    """Drive the plan's flat prefix, then emit the terminal suffix unexpanded.
+
+    The operators before ``plan.factorized_suffix_start()`` run exactly as
+    in :func:`run_pipeline`; each prefix batch is then handed to every
+    suffix operator's ``extend_factorized`` once, producing one unexpanded
+    :class:`~repro.query.factorized.FactorizedSegment` per operator instead
+    of the combination cross-product.  ``output_rows`` still advances by the
+    represented match count, so the counter means the same thing on both
+    paths; ``combos_avoided``/``segments_emitted`` record what the flat path
+    would have materialized.
+    """
+    suffix_start = plan.factorized_suffix_start()
+    if suffix_start >= len(plan.operators):
+        raise ExecutionError(
+            f"plan for {plan.query.name!r} has no factorizable suffix; "
+            "use the flat pipeline"
+        )
+    lead = scan if scan is not None else plan.operators[0]
+    assert isinstance(lead, ScanVertices)
+    stream: Iterator[MatchBatch] = lead.execute(context)
+    for operator in plan.operators[1:suffix_start]:
+        stream = operator.execute(stream, context)
+    suffix = plan.operators[suffix_start:]
+    for batch in stream:
+        if len(batch) == 0:
+            continue
+        segments = tuple(
+            operator.extend_factorized(batch, context) for operator in suffix
+        )
+        factorized = FactorizedBatch(prefix=batch, segments=segments)
+        context.stats.output_rows += factorized.match_count()
+        context.stats.combos_avoided += factorized.flat_rows_avoided()
+        context.stats.segments_emitted += len(segments)
+        yield factorized
+
+
 def run_morsel(
     plan: QueryPlan,
     graph: PropertyGraph,
     batch_size: int,
     start: int,
     stop: int,
-) -> Tuple[List[MatchBatch], ExecutionStats]:
+    factorized: bool = False,
+) -> Tuple[List[object], ExecutionStats]:
     """Run the full pipeline over one vertex-range morsel.
 
     ``batch_size`` is the *in-flight* batch size (the dispatcher passes the
     coalesced size); the dispatcher re-splits the returned batches to its
-    emission size.
+    emission size.  With ``factorized=True`` the morsel body runs
+    :func:`run_pipeline_factorized` instead and returns
+    :class:`~repro.query.factorized.FactorizedBatch` objects (never
+    re-split: their prefixes are already at most the in-flight size).
     """
     stats = ExecutionStats()
     context = ExecutionContext(
         graph=graph, query=plan.query, batch_size=batch_size, stats=stats
     )
     scan = replace(plan.operators[0], vertex_range=(start, stop))
-    batches = list(run_pipeline(plan, context, scan=scan))
+    pipeline = run_pipeline_factorized if factorized else run_pipeline
+    batches = list(pipeline(plan, context, scan=scan))
     return batches, stats
 
 
@@ -135,6 +180,75 @@ def decode_batches(encoded: Sequence[EncodedBatch]) -> List[MatchBatch]:
     """Rebuild :class:`MatchBatch` objects from their raw column buffers."""
     return [
         MatchBatch(dict(zip(names, columns))) for names, columns in encoded
+    ]
+
+
+#: One encoded segment: target vars, cardinalities, and — for materialized
+#: (single-leg) segments — the candidate buffers and tracked edge variable.
+EncodedSegment = Tuple[
+    Tuple[str, ...],
+    np.ndarray,
+    Optional[np.ndarray],
+    Optional[str],
+    Optional[np.ndarray],
+]
+
+#: One encoded factorized batch: the prefix's (names, column buffers) plus
+#: the per-operator segment buffers.  This is the whole point of factorized
+#: transport: workers reply with per-row cardinalities (plus the single-leg
+#: candidate arrays) instead of the expanded cross-product columns, so the
+#: process backend's IPC shrinks by the combination fan-out.
+EncodedFactorizedBatch = Tuple[
+    Tuple[str, ...], List[np.ndarray], List[EncodedSegment]
+]
+
+
+def encode_factorized_batches(
+    batches: Sequence[FactorizedBatch],
+) -> List[EncodedFactorizedBatch]:
+    """Strip factorized batches to raw buffers for cross-process transport."""
+    encoded = []
+    for batch in batches:
+        prefix = batch.prefix
+        segments: List[EncodedSegment] = [
+            (
+                segment.target_vars,
+                segment.cardinalities,
+                segment.nbr_ids,
+                segment.edge_var,
+                segment.edge_ids,
+            )
+            for segment in batch.segments
+        ]
+        encoded.append(
+            (
+                tuple(prefix.variables),
+                [prefix.column(name) for name in prefix.variables],
+                segments,
+            )
+        )
+    return encoded
+
+
+def decode_factorized_batches(
+    encoded: Sequence[EncodedFactorizedBatch],
+) -> List[FactorizedBatch]:
+    """Rebuild :class:`FactorizedBatch` objects from their raw buffers."""
+    return [
+        FactorizedBatch(
+            prefix=MatchBatch(dict(zip(names, columns))),
+            segments=tuple(
+                FactorizedSegment(
+                    target_vars=target_vars,
+                    cardinalities=cardinalities,
+                    nbr_ids=nbr_ids,
+                    edge_var=edge_var,
+                    edge_ids=edge_ids,
+                )
+                for target_vars, cardinalities, nbr_ids, edge_var, edge_ids in segments
+            ),
+        )
+        for names, columns, segments in encoded
     ]
 
 
@@ -176,6 +290,10 @@ class WorkerPayload:
     The plan's ``store_snapshot`` (when present) rides along inside the same
     pickle, so the plan's index references and ``graph`` stay one shared,
     internally consistent object graph on the worker side.
+
+    ``factorized`` selects the morsel body's pipeline (and thereby the reply
+    encoding): flat batches for row-producing sinks, unexpanded segment
+    buffers + per-row cardinalities for aggregate sinks.
     """
 
     plan_id: int
@@ -183,6 +301,7 @@ class WorkerPayload:
     plan: QueryPlan
     graph: PropertyGraph
     batch_size: int
+    factorized: bool = False
 
 
 #: Per-process registry of the payload the pool initializer rehydrated.
@@ -216,7 +335,7 @@ def _process_worker_ready() -> bool:
 
 def _process_worker_run(
     spec: MorselTaskSpec,
-) -> Tuple[List[EncodedBatch], Tuple[int, ...]]:
+) -> Tuple[List[object], Tuple[int, ...]]:
     """Worker body: validate the spec, run the morsel, return columnar results."""
     payload = _WORKER_PAYLOAD
     if payload is None:
@@ -233,8 +352,15 @@ def _process_worker_run(
             "store generations must not mix"
         )
     batches, stats = run_morsel(
-        payload.plan, payload.graph, payload.batch_size, spec.start, spec.stop
+        payload.plan,
+        payload.graph,
+        payload.batch_size,
+        spec.start,
+        spec.stop,
+        factorized=payload.factorized,
     )
+    if payload.factorized:
+        return encode_factorized_batches(batches), dataclasses.astuple(stats)
     return encode_batches(batches), dataclasses.astuple(stats)
 
 
@@ -278,12 +404,20 @@ class MorselBackend:
     :func:`run_morsel` for the submitted range.  The dispatcher retrieves
     handles in submission (= ascending range) order, which is what makes
     every backend's merged output byte-identical to the serial executor.
+
+    ``open(..., factorized=True)`` switches the morsel bodies to the
+    factorized pipeline: ``result`` then returns
+    :class:`~repro.query.factorized.FactorizedBatch` objects (segment
+    buffers + partial counts over the wire for the process backend) instead
+    of flat batches.
     """
 
     #: Registry name (also the ``Database.run(backend=...)`` spelling).
     name = "abstract"
 
-    def open(self, executor, plan: QueryPlan) -> None:  # pragma: no cover
+    def open(
+        self, executor, plan: QueryPlan, factorized: bool = False
+    ) -> None:  # pragma: no cover
         raise NotImplementedError
 
     def submit(self, start: int, stop: int):  # pragma: no cover
@@ -306,17 +440,25 @@ class SerialBackend(MorselBackend):
 
     name = "serial"
 
-    def open(self, executor, plan: QueryPlan) -> None:
+    def open(self, executor, plan: QueryPlan, factorized: bool = False) -> None:
         self._plan = plan
         self._graph = executor.graph
         self._batch_size = executor.batch_size * executor.coalesce
+        self._factorized = factorized
 
     def submit(self, start: int, stop: int) -> Tuple[int, int]:
         return (start, stop)
 
     def result(self, handle) -> Tuple[List[MatchBatch], ExecutionStats]:
         start, stop = handle
-        return run_morsel(self._plan, self._graph, self._batch_size, start, stop)
+        return run_morsel(
+            self._plan,
+            self._graph,
+            self._batch_size,
+            start,
+            stop,
+            factorized=self._factorized,
+        )
 
     def close(self) -> None:
         self._plan = None
@@ -328,15 +470,22 @@ class ThreadBackend(MorselBackend):
 
     name = "thread"
 
-    def open(self, executor, plan: QueryPlan) -> None:
+    def open(self, executor, plan: QueryPlan, factorized: bool = False) -> None:
         self._plan = plan
         self._graph = executor.graph
         self._batch_size = executor.batch_size * executor.coalesce
+        self._factorized = factorized
         self._pool = ThreadPoolExecutor(max_workers=executor.num_workers)
 
     def submit(self, start: int, stop: int):
         return self._pool.submit(
-            run_morsel, self._plan, self._graph, self._batch_size, start, stop
+            run_morsel,
+            self._plan,
+            self._graph,
+            self._batch_size,
+            start,
+            stop,
+            factorized=self._factorized,
         )
 
     def result(self, handle) -> Tuple[List[MatchBatch], ExecutionStats]:
@@ -380,7 +529,7 @@ class ProcessBackend(MorselBackend):
                 return "forkserver"
         return method
 
-    def open(self, executor, plan: QueryPlan) -> None:
+    def open(self, executor, plan: QueryPlan, factorized: bool = False) -> None:
         plan_id = next(_PLAN_IDS)
         payload = WorkerPayload(
             plan_id=plan_id,
@@ -388,9 +537,11 @@ class ProcessBackend(MorselBackend):
             plan=plan,
             graph=executor.graph,
             batch_size=executor.batch_size * executor.coalesce,
+            factorized=factorized,
         )
         self._plan_id = plan_id
         self._generation = payload.generation
+        self._factorized = factorized
         method = self._start_method()
         context = multiprocessing.get_context(method)
         self._pool = context.Pool(
@@ -439,7 +590,8 @@ class ProcessBackend(MorselBackend):
 
     def result(self, handle) -> Tuple[List[MatchBatch], ExecutionStats]:
         encoded, stats_tuple = handle.get()
-        return decode_batches(encoded), ExecutionStats(*stats_tuple)
+        decode = decode_factorized_batches if self._factorized else decode_batches
+        return decode(encoded), ExecutionStats(*stats_tuple)
 
     def close(self) -> None:
         # All retrieved results are already materialized in the parent, so

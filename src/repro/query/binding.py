@@ -48,6 +48,14 @@ class MatchBatch:
     def __len__(self) -> int:
         return self._length
 
+    def match_count(self) -> int:
+        """Matches this batch contributes — ``len`` for a flat batch.
+
+        Mirrors :meth:`repro.query.factorized.FactorizedBatch.match_count`
+        so count sinks can treat both stream shapes uniformly.
+        """
+        return self._length
+
     @property
     def variables(self) -> List[str]:
         return list(self._columns)

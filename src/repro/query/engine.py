@@ -341,12 +341,35 @@ class Database:
         plan.store_snapshot = snapshot
         return plan
 
+    def _pinned_plan(self, query: Union[QueryGraph, QueryPlan]):
+        """Resolve (plan, snapshot) pinned to one coherent store generation.
+
+        A concurrent maintenance flush must never be observed half-merged: a
+        pre-built plan supplies the generation it was planned against (its
+        legs reference that generation's indexes; executing it against a
+        newer graph would mix edge IDs across flush remappings), otherwise
+        the current generation is captured here.
+        """
+        if isinstance(query, QueryPlan):
+            plan = query
+            snapshot = (
+                plan.store_snapshot
+                if plan.store_snapshot is not None
+                else self.store.snapshot()
+            )
+        else:
+            snapshot = self.store.snapshot()
+            plan = Optimizer(snapshot).optimize(query)
+            plan.store_snapshot = snapshot
+        return plan, snapshot
+
     def run(
         self,
         query: Union[QueryGraph, QueryPlan],
         materialize: bool = False,
         parallelism: Optional[int] = None,
         backend: Optional[str] = None,
+        factorized: Optional[bool] = None,
     ) -> QueryResult:
         """Plan (if needed) and execute a query.
 
@@ -363,25 +386,18 @@ class Database:
             backend: morsel dispatch backend for ``parallelism >= 2`` —
                 ``"serial"``, ``"thread"`` (default), or ``"process"``.
                 Output is byte-identical across backends.
+            factorized: ``None``/``False`` runs the flat pipeline (the
+                default — ``run`` keeps flat row semantics and stats);
+                ``True`` runs the factorized count-only pipeline: the
+                result's ``count`` and factorized stats
+                (``combos_avoided``, ``segments_emitted``) are filled, no
+                rows are materialized, and the plan must have a
+                factorizable suffix (incompatible with ``materialize``).
         """
         workers = self._resolve_parallelism(parallelism)
-        # Plan and execute against one coherent store generation so a
-        # concurrent maintenance flush cannot be observed half-merged: a
-        # pre-built plan supplies the generation it was planned against,
-        # otherwise the current generation is captured here.
-        if isinstance(query, QueryPlan):
-            plan = query
-            snapshot = (
-                plan.store_snapshot
-                if plan.store_snapshot is not None
-                else self.store.snapshot()
-            )
-        else:
-            snapshot = self.store.snapshot()
-            plan = Optimizer(snapshot).optimize(query)
-            plan.store_snapshot = snapshot
+        plan, snapshot = self._pinned_plan(query)
         return self._make_executor(snapshot.graph, workers, backend).run(
-            plan, materialize=materialize
+            plan, materialize=materialize, factorized=factorized
         )
 
     def count(
@@ -389,9 +405,23 @@ class Database:
         query: Union[QueryGraph, QueryPlan],
         parallelism: Optional[int] = None,
         backend: Optional[str] = None,
+        factorized: Optional[bool] = None,
     ) -> int:
-        """Number of matches of a query."""
-        return self.run(query, parallelism=parallelism, backend=backend).count
+        """Number of matches of a query (factorized when the plan allows).
+
+        With the default ``factorized=None`` the count is computed with
+        aggregate pushdown whenever the plan has a factorizable terminal
+        suffix — trailing extension combinations stay unexpanded and the
+        count is the per-row product of their cardinalities — and falls
+        back to the flat pipeline otherwise.  ``factorized=False`` forces
+        the flat oracle path; ``True`` requires a factorizable plan.  The
+        returned count is identical on every path and backend.
+        """
+        workers = self._resolve_parallelism(parallelism)
+        plan, snapshot = self._pinned_plan(query)
+        return self._make_executor(snapshot.graph, workers, backend).count(
+            plan, factorized=factorized
+        )
 
     # ------------------------------------------------------------------
     # reporting
@@ -434,5 +464,26 @@ class Database:
             "  are byte-identical to the serial run for every backend, "
             "weighting, morsel\n"
             "  size, and worker count."
+        )
+        lines.append(
+            "Factorized execution (aggregate pushdown):\n"
+            "  count() computes aggregate-only queries without expanding the "
+            "combination\n"
+            "  cross-product: when a plan ends in a run of vectorized "
+            "extensions with no\n"
+            "  post-predicates and no cross-dependencies (its factorizable "
+            "suffix, reported\n"
+            "  by plan.describe()), those operators emit per-row cardinality "
+            "segments and\n"
+            "  the count is the per-prefix-row product of segment sizes.  "
+            "Opt out with\n"
+            "  count(query, factorized=False) — the flat oracle path; "
+            "run()/collect() stay\n"
+            "  flat unless run(factorized=True) is requested.  Determinism "
+            "contract: the\n"
+            "  count is identical on every path, backend, and worker count; "
+            "result.stats\n"
+            "  reports combos_avoided (flat rows never materialized) and "
+            "segments_emitted."
         )
         return "\n".join(lines)

@@ -73,8 +73,10 @@ from .backends import (
     MorselBackend,
     resolve_backend,
     run_pipeline,
+    run_pipeline_factorized,
 )
 from .binding import DEFAULT_BATCH_SIZE, MatchBatch
+from .factorized import FactorizedBatch
 from .morsels import degree_weighted_ranges, even_ranges, ranges_of_size
 from .operators import ExecutionContext, ExecutionStats, ScanVertices
 from .plan import QueryPlan
@@ -93,13 +95,71 @@ class QueryResult:
         return self.count
 
 
+# ----------------------------------------------------------------------
+# sinks: how a plan's output stream is finalized
+# ----------------------------------------------------------------------
+class CountSink:
+    """Aggregate-only sink: accumulates the match count, never flat rows.
+
+    Consumes either stream shape — flat :class:`~repro.query.binding
+    .MatchBatch` batches (``len`` per batch) or
+    :class:`~repro.query.factorized.FactorizedBatch` batches (per-row
+    product of segment cardinalities, one multiply/sum pass per batch) —
+    and produces the identical count for either, by the factorization
+    contract.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def drain(self, stream) -> int:
+        for item in stream:
+            self.count += item.match_count()
+        return self.count
+
+
+class FlattenSink:
+    """Materializing sink: flat match dicts — the kept oracle representation.
+
+    With a ``limit`` the sink stops consuming the stream as soon as the
+    limit is reached *mid-batch*: only the needed rows of the final batch
+    are converted, and upstream operators never run past it (abandoning the
+    generator closes the pipeline / backend window).
+    """
+
+    def __init__(self, limit: Optional[int] = None) -> None:
+        self.matches: List[Dict[str, int]] = []
+        self.limit = limit
+
+    def drain(self, stream) -> List[Dict[str, int]]:
+        for batch in stream:
+            if self.limit is not None:
+                remaining = self.limit - len(self.matches)
+                if remaining <= len(batch):
+                    self.matches.extend(
+                        batch.row(index) for index in range(remaining)
+                    )
+                    return self.matches
+            self.matches.extend(batch.to_dicts())
+        return self.matches
+
+
 class PlanRunner:
     """Shared count/collect/run entry points over an ``execute`` stream.
 
-    Subclasses provide ``execute(plan, stats=None) -> Iterator[MatchBatch]``;
-    the convenience entry points here consume that stream identically for
-    the serial and the morsel-driven executor, so their result contracts
-    cannot drift apart.
+    Subclasses provide ``execute(plan, stats=None) -> Iterator[MatchBatch]``
+    (and, for factorized-capable runners, ``execute_factorized``); the
+    convenience entry points here consume those streams identically for the
+    serial and the morsel-driven executor, so their result contracts cannot
+    drift apart.
+
+    Sink-aware finalization: row-producing entry points (``collect``,
+    ``run(materialize=True)``) always drain the flat stream through a
+    :class:`FlattenSink` — the kept oracle.  ``count`` (and
+    ``run(factorized=True)``) route plans with a factorizable suffix
+    through :class:`CountSink` over the factorized stream, computing the
+    count from unexpanded cardinality products instead of materializing the
+    combination cross-product.
     """
 
     def execute(
@@ -107,32 +167,84 @@ class PlanRunner:
     ) -> Iterator[MatchBatch]:
         raise NotImplementedError
 
-    def count(self, plan: QueryPlan) -> int:
-        """Number of matches produced by the plan."""
-        total = 0
-        for batch in self.execute(plan):
-            total += len(batch)
-        return total
+    def execute_factorized(
+        self, plan: QueryPlan, stats: Optional[ExecutionStats] = None
+    ) -> Iterator[FactorizedBatch]:
+        raise NotImplementedError
+
+    def _resolve_factorized(
+        self, plan: QueryPlan, factorized: Optional[bool]
+    ) -> bool:
+        """Effective sink choice: ``None`` auto-opts-in capable plans."""
+        if factorized is None:
+            return plan.supports_factorized_count
+        if factorized and not plan.supports_factorized_count:
+            raise ExecutionError(
+                f"plan for {plan.query.name!r} has no factorizable suffix "
+                "(see QueryPlan.supports_factorized_count); "
+                "factorized=True cannot be honoured"
+            )
+        return bool(factorized)
+
+    def count(self, plan: QueryPlan, factorized: Optional[bool] = None) -> int:
+        """Number of matches produced by the plan (sink-aware).
+
+        ``factorized=None`` (the default) computes the count from
+        unexpanded cardinality products whenever the plan supports it and
+        falls back to the flat stream otherwise; ``False`` forces the flat
+        oracle path; ``True`` requires a factorizable plan (raises
+        otherwise).  The count is identical either way.
+        """
+        use_factorized = self._resolve_factorized(plan, factorized)
+        stream = (
+            self.execute_factorized(plan) if use_factorized else self.execute(plan)
+        )
+        return CountSink().drain(stream)
 
     def collect(self, plan: QueryPlan, limit: Optional[int] = None) -> List[Dict[str, int]]:
-        """Materialize matches as dictionaries (optionally limited)."""
-        matches: List[Dict[str, int]] = []
-        for batch in self.execute(plan):
-            matches.extend(batch.to_dicts())
-            if limit is not None and len(matches) >= limit:
-                return matches[:limit]
-        return matches
+        """Materialize matches as dictionaries (optionally limited).
 
-    def run(self, plan: QueryPlan, materialize: bool = False) -> QueryResult:
-        """Execute a plan, timing it and gathering execution statistics."""
+        A reached ``limit`` stops the execute stream mid-batch: the final
+        batch contributes only its needed prefix rows and no further batch
+        is pulled from the pipeline.
+        """
+        if limit is not None and limit <= 0:
+            return []
+        return FlattenSink(limit=limit).drain(self.execute(plan))
+
+    def run(
+        self,
+        plan: QueryPlan,
+        materialize: bool = False,
+        factorized: Optional[bool] = None,
+    ) -> QueryResult:
+        """Execute a plan, timing it and gathering execution statistics.
+
+        ``factorized=None``/``False`` runs the flat pipeline (the oracle
+        path — ``run`` keeps flat semantics unless explicitly opted in);
+        ``factorized=True`` drains the factorized stream through a
+        :class:`CountSink` — the result carries the count and the
+        factorized stats (``combos_avoided``, ``segments_emitted``) but no
+        rows, so it cannot be combined with ``materialize=True``.
+        """
+        use_factorized = bool(factorized) and self._resolve_factorized(
+            plan, factorized
+        )
+        if use_factorized and materialize:
+            raise ExecutionError(
+                "materialize=True needs flat tuples; a factorized run is "
+                "count-only (use the default flat path to collect matches)"
+            )
         stats = ExecutionStats()
         started = time.perf_counter()
         matches: List[Dict[str, int]] = []
-        count = 0
-        for batch in self.execute(plan, stats=stats):
-            count += len(batch)
-            if materialize:
-                matches.extend(batch.to_dicts())
+        if use_factorized:
+            count = CountSink().drain(self.execute_factorized(plan, stats=stats))
+        elif materialize:
+            matches = FlattenSink().drain(self.execute(plan, stats=stats))
+            count = len(matches)
+        else:
+            count = CountSink().drain(self.execute(plan, stats=stats))
         elapsed = time.perf_counter() - started
         return QueryResult(matches=matches, count=count, seconds=elapsed, stats=stats)
 
@@ -155,6 +267,18 @@ class Executor(PlanRunner):
             stats=stats or ExecutionStats(),
         )
         yield from run_pipeline(plan, context)
+
+    def execute_factorized(
+        self, plan: QueryPlan, stats: Optional[ExecutionStats] = None
+    ) -> Iterator[FactorizedBatch]:
+        """Yield factorized batches: flat prefixes with unexpanded suffixes."""
+        context = ExecutionContext(
+            graph=self.graph,
+            query=plan.query,
+            batch_size=self.batch_size,
+            stats=stats or ExecutionStats(),
+        )
+        yield from run_pipeline_factorized(plan, context)
 
 
 #: Morsels handed out per worker (load-balancing granularity of the default
@@ -328,6 +452,31 @@ class MorselExecutor(PlanRunner):
         peak memory stays proportional to the window, not to the whole
         query result.
         """
+        for batch in self._dispatch(plan, stats, factorized=False):
+            yield from batch.split(self.batch_size)
+
+    def execute_factorized(
+        self, plan: QueryPlan, stats: Optional[ExecutionStats] = None
+    ) -> Iterator[FactorizedBatch]:
+        """Yield factorized batches in deterministic morsel order.
+
+        Same windowed dispatch as :meth:`execute`, with the backend's
+        morsel bodies running the *factorized* pipeline — workers ship back
+        prefix columns plus per-leg cardinality segments instead of
+        expanded cross-products.  Factorized batches are yielded whole (no
+        re-split to ``batch_size``: segment arrays are per-prefix-row, and
+        the only consumers are aggregate sinks that reduce them
+        immediately).
+        """
+        yield from self._dispatch(plan, stats, factorized=True)
+
+    def _dispatch(
+        self,
+        plan: QueryPlan,
+        stats: Optional[ExecutionStats],
+        factorized: bool,
+    ) -> Iterator[object]:
+        """Windowed morsel dispatch shared by the flat and factorized paths."""
         merged = stats if stats is not None else ExecutionStats()
         all_ranges = self.morsel_ranges(plan)
         if not all_ranges:
@@ -335,7 +484,7 @@ class MorselExecutor(PlanRunner):
         ranges = iter(all_ranges)
         window = self.num_workers * MORSEL_WINDOW_PER_WORKER
         backend = resolve_backend(self.backend)
-        backend.open(self, plan)
+        backend.open(self, plan, factorized=factorized)
         try:
             pending = deque()
             for lo, hi in ranges:
@@ -348,7 +497,6 @@ class MorselExecutor(PlanRunner):
                 if refill is not None:
                     pending.append(backend.submit(*refill))
                 merged.add(morsel_stats)
-                for batch in batches:
-                    yield from batch.split(self.batch_size)
+                yield from batches
         finally:
             backend.close()

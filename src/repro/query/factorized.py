@@ -1,0 +1,183 @@
+"""Factorized intermediate results: unexpanded terminal extensions.
+
+A flat pipeline expands every extension into the full combination
+cross-product even when the consumer is ``count()`` — on star-shaped
+patterns that materializes the *product* of the leg fan-outs per prefix
+row, all of it pure waste for an aggregate.  Following the list-based
+processing of Gupta et al. (Columnar Storage and List-based Processing for
+GDBMSs), the factorized representation keeps the terminal extensions as
+per-row cardinality segments instead:
+
+* a :class:`FactorizedBatch` is a flat *prefix* (a normal
+  :class:`~repro.query.binding.MatchBatch` of bound columns) plus one
+  :class:`FactorizedSegment` per suffix operator;
+* segment ``j`` records, per prefix row ``i``, how many combinations that
+  operator would have contributed (``cardinalities[i]``) — for single-leg
+  extends also the concatenated candidate arrays, so the batch can still be
+  flattened;
+* because the plan analysis (:meth:`~repro.query.plan.QueryPlan
+  .factorized_suffix_start`) only admits *mutually independent* suffix
+  operators, the match count of the batch is the sum over prefix rows of
+  the product of the per-segment cardinalities — one vectorized
+  multiply/sum pass, zero combo expansion.
+
+The flat path remains the kept oracle: ``FactorizedBatch.flatten`` (for
+materialized segments) reproduces the flat pipeline's rows in the flat
+pipeline's order, and the differential suite
+(``tests/test_factorized_count.py``) pins ``count()`` equality between the
+representations across every backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..storage.intersect import combo_positions
+from .binding import MatchBatch
+
+
+@dataclass(frozen=True)
+class FactorizedSegment:
+    """One unexpanded extension of a suffix operator over a prefix batch.
+
+    ``cardinalities[i]`` is the number of combinations the emitting operator
+    contributes for prefix row ``i`` — exactly the factor by which the flat
+    path would have multiplied that row.  Single-leg extends also carry the
+    concatenated candidate arrays (row offsets derive from the
+    cardinalities), which makes the segment *materialized* and flattenable;
+    intersection segments (multi-leg E/I, MULTI-EXTEND) are count-only.
+
+    Attributes:
+        target_vars: the query vertices the emitting operator binds.
+        cardinalities: int64 combinations per prefix row.
+        nbr_ids: concatenated neighbour candidates (materialized segments).
+        edge_var: the tracked edge variable, if any (materialized segments).
+        edge_ids: concatenated edge candidates aligned with ``nbr_ids``.
+    """
+
+    target_vars: Tuple[str, ...]
+    cardinalities: np.ndarray
+    nbr_ids: Optional[np.ndarray] = None
+    edge_var: Optional[str] = None
+    edge_ids: Optional[np.ndarray] = None
+
+    @property
+    def is_materialized(self) -> bool:
+        """True when the candidate arrays are present (single-leg extends)."""
+        return self.nbr_ids is not None
+
+    def offsets(self) -> np.ndarray:
+        """Per-prefix-row start offsets into the candidate arrays."""
+        ends = np.cumsum(self.cardinalities, dtype=np.int64)
+        return ends - self.cardinalities
+
+
+@dataclass(frozen=True)
+class FactorizedBatch:
+    """A flat prefix of bound columns plus unexpanded extension segments.
+
+    Represents ``prefix × segment_1 × segment_2 × ...``: the segments are
+    mutually independent given the prefix (guaranteed by the plan's suffix
+    analysis), so prefix row ``i`` stands for ``prod_j cardinalities_j[i]``
+    flat matches that are never materialized.
+    """
+
+    prefix: MatchBatch
+    segments: Tuple[FactorizedSegment, ...]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ExecutionError("a factorized batch needs at least one segment")
+        for segment in self.segments:
+            if len(segment.cardinalities) != len(self.prefix):
+                raise ExecutionError(
+                    f"segment cardinalities cover {len(segment.cardinalities)} "
+                    f"rows but the prefix has {len(self.prefix)}"
+                )
+
+    # ------------------------------------------------------------------
+    # cardinality arithmetic (the CountSink hot path)
+    # ------------------------------------------------------------------
+    def row_counts(self) -> np.ndarray:
+        """Flat matches represented by each prefix row (segment product)."""
+        counts = np.ones(len(self.prefix), dtype=np.int64)
+        for segment in self.segments:
+            counts *= segment.cardinalities
+        return counts
+
+    def match_count(self) -> int:
+        """Total flat matches represented — without expanding any of them."""
+        return int(self.row_counts().sum())
+
+    def flat_rows_avoided(self) -> int:
+        """Rows the flat pipeline would have materialized for the suffix.
+
+        The flat path expands the first suffix operator's combinations,
+        re-expands those rows by the second operator's, and so on — a
+        running product over the segment cascade,
+        ``sum_j sum_i prod_{k<=j} cardinalities_k[i]`` rows in total, none
+        of which the factorized path ever allocates.
+        """
+        accumulated: Optional[np.ndarray] = None
+        total = 0
+        for segment in self.segments:
+            accumulated = (
+                segment.cardinalities
+                if accumulated is None
+                else accumulated * segment.cardinalities
+            )
+            total += int(accumulated.sum())
+        return total
+
+    # ------------------------------------------------------------------
+    # the bridge back to the flat representation
+    # ------------------------------------------------------------------
+    def flatten(self) -> MatchBatch:
+        """Expand into the flat cross-product batch, in flat-path row order.
+
+        Requires every segment to be materialized (single-leg extends); the
+        combination order iterates later segments fastest, matching the flat
+        pipeline's nested expansion.  This is the oracle bridge used by the
+        differential tests — production sinks never call it, which is the
+        point of the representation.
+        """
+        for segment in self.segments:
+            if not segment.is_materialized:
+                raise ExecutionError(
+                    "cannot flatten a count-only (intersection) segment; "
+                    "use the flat pipeline for row-producing sinks"
+                )
+        counts = self.row_counts()
+        if len(self.segments) == 1:
+            segment = self.segments[0]
+            new_columns: Dict[str, np.ndarray] = {
+                segment.target_vars[0]: segment.nbr_ids
+            }
+            if segment.edge_var is not None:
+                new_columns[segment.edge_var] = segment.edge_ids
+            return self.prefix.repeat(segment.cardinalities).with_columns(new_columns)
+        positions, _ = combo_positions(
+            [segment.offsets() for segment in self.segments],
+            [segment.cardinalities for segment in self.segments],
+            counts,
+        )
+        new_columns = {}
+        for segment, pos in zip(self.segments, positions):
+            new_columns[segment.target_vars[0]] = np.asarray(
+                segment.nbr_ids, dtype=np.int64
+            )[pos]
+            if segment.edge_var is not None:
+                new_columns[segment.edge_var] = np.asarray(
+                    segment.edge_ids, dtype=np.int64
+                )[pos]
+        return self.prefix.repeat(counts).with_columns(new_columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FactorizedBatch(prefix_rows={len(self.prefix)}, "
+            f"segments={len(self.segments)}, matches={self.match_count()})"
+        )

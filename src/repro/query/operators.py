@@ -70,19 +70,37 @@ from ..storage.intersect import (
 )
 from ..storage.sort_keys import SortKey
 from .binding import DEFAULT_BATCH_SIZE, MatchBatch
+from .factorized import FactorizedSegment
 from .pattern import QueryGraph
 from .predicates import CompareOp, Predicate
 
 
 @dataclass
 class ExecutionStats:
-    """Counters accumulated while executing a plan."""
+    """Counters accumulated while executing a plan.
+
+    ``combos_avoided`` and ``segments_emitted`` advance only on the
+    factorized execution path (:mod:`repro.query.factorized`):
+    ``combos_avoided`` counts the rows the flat pipeline would have
+    materialized for the factorized suffix (intermediate and output
+    expansions included), ``segments_emitted`` the unexpanded extension
+    segments produced in their stead.  ``output_rows`` stays the total
+    match count on both paths.
+
+    Every counter except ``segments_emitted`` is per-row accounting and is
+    therefore identical across batch sizes, morsel cuts, backends and
+    worker counts; ``segments_emitted`` advances once per (batch, suffix
+    operator) pair, so it scales with how the prefix stream is batched —
+    compare it only within one execution configuration.
+    """
 
     lists_accessed: int = 0
     list_entries_fetched: int = 0
     intermediate_rows: int = 0
     output_rows: int = 0
     predicate_evaluations: int = 0
+    combos_avoided: int = 0
+    segments_emitted: int = 0
 
     def reset(self) -> None:
         self.lists_accessed = 0
@@ -90,6 +108,8 @@ class ExecutionStats:
         self.intermediate_rows = 0
         self.output_rows = 0
         self.predicate_evaluations = 0
+        self.combos_avoided = 0
+        self.segments_emitted = 0
 
     def add(self, other: "ExecutionStats") -> None:
         """Accumulate another stats object (morsel-wise merge).
@@ -103,6 +123,8 @@ class ExecutionStats:
         self.intermediate_rows += other.intermediate_rows
         self.output_rows += other.output_rows
         self.predicate_evaluations += other.predicate_evaluations
+        self.combos_avoided += other.combos_avoided
+        self.segments_emitted += other.segments_emitted
 
 
 @dataclass
@@ -622,6 +644,49 @@ class ExtendIntersect(PhysicalOperator):
                     )[pos]
         return batch.repeat(result.counts_out).with_columns(new_columns)
 
+    # -- factorized emit path -------------------------------------------
+    def extend_factorized(
+        self, batch: MatchBatch, context: ExecutionContext
+    ) -> FactorizedSegment:
+        """Emit this operator's extensions unexpanded (factorized suffix path).
+
+        Requires the vectorized path with a TRUE post-predicate — the plan
+        analysis (:meth:`~repro.query.plan.QueryPlan.factorized_suffix_start`)
+        guarantees both before routing a batch here.  The returned segment's
+        cardinalities equal, per prefix row, the number of rows the flat path
+        would have materialized: single-leg extends keep the fetched candidate
+        arrays (so the segment stays flattenable), multi-leg intersections run
+        the segment kernel with ``need_positions=False`` and keep only the
+        per-row combination counts — no expansion work on either shape.
+        """
+        if not self.vectorized or not self.post_predicate.is_true:
+            raise ExecutionError(
+                "extend_factorized requires the vectorized path with a TRUE "
+                "post-predicate; the plan's factorized-suffix analysis admits "
+                "nothing else"
+            )
+        if len(self.legs) == 1:
+            leg = self.legs[0]
+            edge_ids, nbr_ids, counts = leg.fetch_many(context, batch)
+            return FactorizedSegment(
+                target_vars=(self.target_var,),
+                cardinalities=counts,
+                nbr_ids=nbr_ids,
+                edge_var=leg.edge_var if leg.track_edge else None,
+                edge_ids=edge_ids if leg.track_edge else None,
+            )
+        per_leg = [leg.fetch_many(context, batch) for leg in self.legs]
+        result = intersect_segments(
+            [nbr_ids for _, nbr_ids, _ in per_leg],
+            [counts for _, _, counts in per_leg],
+            num_rows=len(batch),
+            presorted=[leg.presorted_by_nbr for leg in self.legs],
+            need_positions=False,
+        )
+        return FactorizedSegment(
+            target_vars=(self.target_var,), cardinalities=result.counts_out
+        )
+
     # -- legacy tuple-at-a-time path ------------------------------------
     def _extend_rowwise(
         self, batch: MatchBatch, context: ExecutionContext
@@ -794,6 +859,51 @@ class MultiExtend(PhysicalOperator):
             for name, values in combo_edges.items():
                 new_columns[name] = values[keep]
         return batch.repeat(counts_out).with_columns(new_columns)
+
+    # -- factorized emit path -------------------------------------------
+    def extend_factorized(
+        self, batch: MatchBatch, context: ExecutionContext
+    ) -> FactorizedSegment:
+        """Emit this operator's join combinations unexpanded (count-only).
+
+        Requires the vectorized path, a TRUE post-predicate, and pairwise
+        distinct target vertices (legs sharing a target need per-combination
+        reconciliation, which only the flat path performs) — all guaranteed
+        by the plan's factorized-suffix analysis.  With those preconditions
+        the kernel's per-row combination counts *are* the flat expansion
+        counts, so the join runs with ``need_positions=False`` and never
+        materializes a combination.
+        """
+        if not self.vectorized or not self.post_predicate.is_true:
+            raise ExecutionError(
+                "extend_factorized requires the vectorized path with a TRUE "
+                "post-predicate; the plan's factorized-suffix analysis admits "
+                "nothing else"
+            )
+        if len(self.target_vars) != len(self.legs):
+            raise ExecutionError(
+                "factorized MULTI-EXTEND requires pairwise-distinct target "
+                "vertices; shared-target legs must stay on the flat path"
+            )
+        graph = context.graph
+        leg_keys = []
+        leg_counts = []
+        presorted = []
+        for leg in self.legs:
+            edge_ids, nbr_ids, counts = leg.fetch_many(context, batch)
+            leg_keys.append(self.equality_key.values(graph, edge_ids, nbr_ids))
+            leg_counts.append(counts)
+            presorted.append(leg.access_path.sorted_by(self.equality_key))
+        result = intersect_segments(
+            leg_keys,
+            leg_counts,
+            num_rows=len(batch),
+            presorted=presorted,
+            need_positions=False,
+        )
+        return FactorizedSegment(
+            target_vars=tuple(self.target_vars), cardinalities=result.counts_out
+        )
 
     # -- legacy tuple-at-a-time path ------------------------------------
     def _extend_rowwise(

@@ -240,12 +240,18 @@ class Optimizer:
         ]
         if remaining:
             operators.append(Filter(Predicate(remaining)))
-        return QueryPlan(
+        plan = QueryPlan(
             query=query,
             operators=operators,
             estimated_cost=best.cost,
             estimated_cardinality=best.cardinality,
         )
+        # Precompute the sink capability: only plans whose terminal suffix
+        # factorizes opt in to aggregate pushdown (PlanRunner.count), and
+        # planning time is where the analysis belongs — executors then read
+        # the cached verdict without re-walking the operator pipeline.
+        plan.factorized_suffix_start()
+        return plan
 
     # ------------------------------------------------------------------
     # scans

@@ -53,6 +53,12 @@ class QueryPlan:
     estimated_cost: float = 0.0
     estimated_cardinality: float = 0.0
     store_snapshot: Optional[object] = field(default=None, repr=False, compare=False)
+    #: Cached result of the factorized-suffix analysis (computed lazily; the
+    #: optimizer precomputes it so planned queries carry their sink
+    #: capability).  Not part of identity/pickling semantics beyond caching.
+    _factorized_start: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.operators:
@@ -118,10 +124,93 @@ class QueryPlan:
                 count += 1
         return count
 
+    # ------------------------------------------------------------------
+    # sink capability (factorized aggregate pushdown)
+    # ------------------------------------------------------------------
+    def factorized_suffix_start(self) -> int:
+        """Index of the first operator of the factorizable terminal suffix.
+
+        The suffix is the longest run of trailing extension operators whose
+        combinations can stay *unexpanded* for aggregate-only sinks: the
+        match count is then the per-prefix-row product of the suffix
+        operators' cardinalities.  Returns ``len(self.operators)`` when no
+        suffix qualifies (the plan is flat-only).
+
+        An operator joins the suffix only when its combinations are
+        mutually independent of every later suffix operator given the
+        prefix:
+
+        * it is a vectorized :class:`~repro.query.operators.ExtendIntersect`
+          or :class:`~repro.query.operators.MultiExtend` with a TRUE post
+          predicate (a post predicate filters combinations, breaking the
+          pure cardinality product);
+        * a MULTI-EXTEND's legs bind pairwise-distinct target vertices
+          (shared targets need per-combination reconciliation);
+        * nothing it produces (targets, tracked edge variables) is *read*
+          by a later suffix operator (leg bound variables,
+          residual-predicate variables beyond the leg's own target/edge) —
+          so every suffix operator's inputs come from the flat prefix and
+          the per-operator cardinalities are independent given a prefix
+          row.
+        """
+        if self._factorized_start is None:
+            self._factorized_start = self._analyze_factorized_suffix()
+        return self._factorized_start
+
+    def _analyze_factorized_suffix(self) -> int:
+        operators = self.operators
+        start = len(operators)
+        reads_by_suffix: Set[str] = set()
+        for index in range(len(operators) - 1, 0, -1):
+            operator = operators[index]
+            if not isinstance(operator, (ExtendIntersect, MultiExtend)):
+                break
+            if not operator.vectorized or not operator.post_predicate.is_true:
+                break
+            if isinstance(operator, MultiExtend):
+                if len(operator.target_vars) != len(operator.legs):
+                    break
+                produced = set(operator.target_vars)
+            else:
+                produced = {operator.target_var}
+            produced.update(
+                leg.edge_var for leg in operator.legs if leg.track_edge
+            )
+            reads: Set[str] = set()
+            for leg in operator.legs:
+                reads.add(leg.bound_var)
+                reads.update(
+                    name
+                    for name in leg.residual.variables()
+                    if name not in (leg.target_var, leg.edge_var)
+                )
+            # An already-accepted (later) suffix operator consuming this
+            # operator's output would make the cardinalities dependent:
+            # this operator must stay in the flat prefix, ending the walk.
+            if produced & reads_by_suffix:
+                break
+            reads_by_suffix |= reads
+            start = index
+        return start
+
+    @property
+    def supports_factorized_count(self) -> bool:
+        """True when an aggregate sink may skip combo expansion on a suffix."""
+        return self.factorized_suffix_start() < len(self.operators)
+
     def describe(self) -> str:
         lines = [f"Plan for {self.query.name!r} (i-cost≈{self.estimated_cost:,.0f}):"]
         for position, operator in enumerate(self.operators, 1):
             lines.append(f"  {position}. {operator.describe()}")
+        suffix_start = self.factorized_suffix_start()
+        if suffix_start < len(self.operators):
+            lines.append(
+                f"  sink capability: factorized count "
+                f"(operators {suffix_start + 1}..{len(self.operators)} stay "
+                "unexpanded for aggregate sinks)"
+            )
+        else:
+            lines.append("  sink capability: flat only")
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
