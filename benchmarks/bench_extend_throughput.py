@@ -48,6 +48,16 @@ plus the parallel-execution counterpart:
   its floor is the one gate that checks the *shape* of the optimization, not
   a constant-factor kernel win,
 
+* ``fault_recovery`` — the ``parallel_scan`` plan on the 4-worker process
+  backend, run once fault-free and once with a deterministic ``kill@0``
+  fault that murders a pool worker on the first morsel.  The row's
+  ``speedup`` is faulted/healthy wall clock — the *overhead factor* of
+  crash recovery (retry on the respawned pool), not a win — so the baseline
+  marks it ``no_floor``: the gate tracks the row (removing it silently
+  still fails) but applies no ratio floor.  Correctness is asserted inside
+  the benchmark: both runs must return the serial oracle's count and the
+  faulted run must actually record a retry,
+
 * ``skewed_scan``    — the same WCOJ shape on a *hub-skewed* Zipf graph
   whose degree correlates with vertex ID (no ID shuffle): the degree-
   weighted morsel splitter (prefix-summed CSR offsets, the dispatcher
@@ -135,6 +145,14 @@ MAINTENANCE_DATE_WINDOW = 50.0
 #: Thread-pool width of the parallel-scan scenario (the baseline's floor is
 #: calibrated for this worker count; see ``requires_cpus`` in the baseline).
 PARALLEL_WORKERS = 4
+#: Deterministic fault injected by the ``fault_recovery`` scenario: kill the
+#: worker that picks up the first morsel, on its first attempt only, so the
+#: dispatcher's retry path runs exactly once per query.
+FAULT_RECOVERY_FAULTS = "kill@0"
+#: Per-morsel result-timeout backstop for the faulted run (seconds).  The
+#: kill is normally detected by the pool death watch within a fraction of a
+#: second; the backstop only matters if detection itself regresses.
+FAULT_RECOVERY_MORSEL_TIMEOUT = 30.0
 #: Zipf exponent of the hub-skewed graph (``skewed_scan``): steep enough
 #: that the low-ID hub region dominates the adjacency work without one
 #: single vertex holding the bulk of it (a single super-vertex cannot be
@@ -578,6 +596,100 @@ def _parallel_scan_process_scenario_row(graph, store) -> Dict:
     return row
 
 
+def _fault_recovery_scenario_row(graph, store) -> Dict:
+    """Recovery overhead of the process backend under an injected worker kill.
+
+    Both sides run the 4-worker process dispatcher on the full-domain WCOJ
+    plan.  The ``vectorized_*`` side runs fault-free; the ``rowwise_*`` side
+    loses the worker executing morsel 0 to a deterministic ``kill@0`` fault
+    and must detect the death, retry the lost morsel on the respawned pool,
+    and still merge a byte-identical result.  ``speedup`` is therefore
+    faulted/healthy wall clock — the overhead *factor* of one crash-recovery
+    round — and the baseline entry carries ``no_floor``: correctness is
+    asserted here (both counts equal the serial oracle's, and the faulted
+    run really recorded a retry), not by a ratio floor.
+    """
+    start_method = preferred_start_method()
+    if not fork_available():
+        return {
+            "extended_edges": 0,
+            "workers": PARALLEL_WORKERS,
+            "available_cpus": available_cpus(),
+            "start_method": start_method,
+            "skipped_reason": (
+                "process-backend chaos needs the fork start method; "
+                f"this platform offers {start_method!r}"
+            ),
+            "rowwise_seconds": 0.0,
+            "vectorized_seconds": 0.0,
+            "rowwise_eps": 0.0,
+            "vectorized_eps": 0.0,
+            "speedup": 0.0,
+            "retries": 0,
+            "morsels_recovered": 0,
+        }
+    oracle = Executor(graph).run(_plan_parallel_scan(store)).count
+    healthy_seconds = faulted_seconds = float("inf")
+    retries = morsels_recovered = 0
+    for _ in range(max(REPETITIONS, 1)):
+        runner = MorselExecutor(
+            graph,
+            num_workers=PARALLEL_WORKERS,
+            backend="process",
+            morsel_timeout=FAULT_RECOVERY_MORSEL_TIMEOUT,
+        )
+        started = time.perf_counter()
+        healthy = runner.run(_plan_parallel_scan(store))
+        healthy_seconds = min(healthy_seconds, time.perf_counter() - started)
+        if healthy.count != oracle:
+            raise RuntimeError(
+                f"fault_recovery: healthy run disagrees with the serial "
+                f"oracle ({healthy.count} vs {oracle})"
+            )
+
+        runner = MorselExecutor(
+            graph,
+            num_workers=PARALLEL_WORKERS,
+            backend="process",
+            fault_plan=FAULT_RECOVERY_FAULTS,
+            morsel_timeout=FAULT_RECOVERY_MORSEL_TIMEOUT,
+        )
+        started = time.perf_counter()
+        faulted = runner.run(_plan_parallel_scan(store))
+        faulted_seconds = min(faulted_seconds, time.perf_counter() - started)
+        if faulted.count != oracle:
+            raise RuntimeError(
+                f"fault_recovery: recovered run disagrees with the serial "
+                f"oracle ({faulted.count} vs {oracle}) — crash recovery "
+                "dropped or duplicated a morsel"
+            )
+        if faulted.stats.retries < 1 or faulted.stats.morsels_recovered < 1:
+            raise RuntimeError(
+                "fault_recovery: the injected kill never fired — the run "
+                "measured nothing"
+            )
+        retries = faulted.stats.retries
+        morsels_recovered = faulted.stats.morsels_recovered
+    overhead = (
+        faulted_seconds / healthy_seconds if healthy_seconds else float("inf")
+    )
+    return {
+        "extended_edges": int(oracle),
+        "rowwise_seconds": faulted_seconds,
+        "vectorized_seconds": healthy_seconds,
+        "rowwise_eps": oracle / faulted_seconds if faulted_seconds else 0.0,
+        "vectorized_eps": oracle / healthy_seconds if healthy_seconds else 0.0,
+        "speedup": overhead,
+        "recovery_overhead": overhead,
+        "retries": int(retries),
+        "morsels_recovered": int(morsels_recovered),
+        "fault_plan": FAULT_RECOVERY_FAULTS,
+        "workers": PARALLEL_WORKERS,
+        "available_cpus": available_cpus(),
+        "start_method": start_method,
+    }
+
+
 def _skewed_scan_scenario_row(graph, store) -> Dict:
     """Even vs degree-weighted morsels on the hub-skewed graph.
 
@@ -792,6 +904,7 @@ def run_benchmarks() -> Dict:
             "maintenance_date_window": MAINTENANCE_DATE_WINDOW,
             "skewed_scan_exponent": SKEWED_SCAN_EXPONENT,
             "parallel_workers": PARALLEL_WORKERS,
+            "fault_recovery_faults": FAULT_RECOVERY_FAULTS,
         },
         "scenarios": {},
     }
@@ -823,6 +936,9 @@ def run_benchmarks() -> Dict:
     )
     report["scenarios"]["parallel_scan_process"] = (
         _parallel_scan_process_scenario_row(labelled_graph, labelled_store)
+    )
+    report["scenarios"]["fault_recovery"] = _fault_recovery_scenario_row(
+        labelled_graph, labelled_store
     )
     hub_graph, hub_store = _build_hub_skewed()
     report["scenarios"]["skewed_scan"] = _skewed_scan_scenario_row(

@@ -20,6 +20,11 @@ Per-scenario baseline fields beyond ``min_speedup``:
 * ``advisory_on_ci`` — a floor miss is reported as a warning instead of a
   failure when the ``CI`` environment variable is set (shared CI runners
   have noisy timers and unpredictable core counts).
+* ``no_floor`` — the scenario is tracked (it must produce a result row, so
+  removing it silently still fails the gate) but its ratio has no floor:
+  used for advisory scenarios whose "speedup" measures overhead rather than
+  a win — e.g. ``fault_recovery``, where the ratio is the cost of crash
+  recovery and correctness is asserted inside the benchmark itself.
 
 The floor comparison itself is *inclusive*: a measured speedup equal to the
 floor passes, including values that differ from it only by float
@@ -118,6 +123,12 @@ def run_check(
                 f"{name}: baseline scenario missing from benchmark results — "
                 "was it removed from bench_extend_throughput.py without "
                 "updating the baseline?"
+            )
+            continue
+        if spec.get("no_floor"):
+            skipped.append(
+                f"{name}: advisory scenario (no_floor) — measured "
+                f"{float(measured.get('speedup', 0.0)):.2f}x, no floor applied"
             )
             continue
         if "min_speedup" not in spec:

@@ -36,9 +36,12 @@ from .errors import (
     IndexLookupError,
     MaintenanceError,
     PlanningError,
+    QueryCancelledError,
     QueryParseError,
+    QueryTimeoutError,
     ReproError,
     SchemaError,
+    WorkerCrashError,
 )
 from .graph import (
     Direction,
@@ -58,12 +61,15 @@ from .index import (
     VertexPartitionedIndex,
 )
 from .query import (
+    CancellationToken,
     Database,
     Executor,
+    FaultPlan,
     MorselExecutor,
     NaiveMatcher,
     Optimizer,
     Predicate,
+    QueryContext,
     QueryGraph,
     QueryPlan,
     QueryResult,
@@ -75,8 +81,14 @@ from .query import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CancellationToken",
     "Database",
     "DDLParseError",
+    "FaultPlan",
+    "QueryCancelledError",
+    "QueryContext",
+    "QueryTimeoutError",
+    "WorkerCrashError",
     "Direction",
     "EdgeAdjacencyType",
     "EdgePartitionedIndex",

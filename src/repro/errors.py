@@ -57,5 +57,45 @@ class ExecutionError(ReproError):
     """Raised when a physical plan fails during execution."""
 
 
+class QueryTimeoutError(ExecutionError):
+    """Raised when a query exceeds its wall-clock deadline.
+
+    Carries the partial execution statistics accumulated up to the point the
+    deadline fired (``stats``; counters only cover work whose results were
+    already merged) and the requested ``timeout`` in seconds.
+    """
+
+    def __init__(self, message: str, stats=None, timeout=None) -> None:
+        super().__init__(message)
+        self.stats = stats
+        self.timeout = timeout
+
+
+class QueryCancelledError(ExecutionError):
+    """Raised when a query's cooperative cancellation token is triggered.
+
+    Carries the partial execution statistics accumulated up to the point the
+    cancellation was observed (``stats``).
+    """
+
+    def __init__(self, message: str, stats=None) -> None:
+        super().__init__(message)
+        self.stats = stats
+
+
+class WorkerCrashError(ExecutionError):
+    """A morsel was lost to a worker failure (crash, hang, corrupt reply).
+
+    This is the *recoverable* failure signal of the morsel runtime: backends
+    raise it from ``result()`` when a morsel's output cannot be trusted or
+    never arrived — a dead process-pool worker, a per-morsel reply timeout,
+    a reply whose checksum does not match its payload, or an injected fault
+    — and the dispatcher responds by retrying the lost vertex range on the
+    surviving workers, degrading to in-process serial re-execution when
+    retries are exhausted.  It only escapes to callers if even that serial
+    re-execution fails.
+    """
+
+
 class MaintenanceError(ReproError):
     """Raised when an index update (insert/delete) cannot be applied."""

@@ -27,6 +27,22 @@ run (``parallelism=1``, which is kept as the oracle).  This holds because
 every operator emits output rows in input-row order and the batch kernels
 are row-segmented, so batch and morsel boundaries can never change *what* is
 produced, only how it is grouped into batches in flight.
+
+Fault-tolerant runtime
+----------------------
+
+``Database.run/count(timeout=..., cancel=...)`` arm per-query guardrails: a
+wall-clock deadline and a cooperative :class:`~repro.query.runtime
+.CancellationToken`, checked between batches and between morsels (and
+enforced against stuck workers by polled backend waits), raising
+``QueryTimeoutError`` / ``QueryCancelledError`` with partial stats attached.
+The process backend additionally survives worker crashes — dead workers,
+hung morsels (``REPRO_MORSEL_TIMEOUT``), and checksum-failing replies are
+retried and finally re-executed serially in-process, preserving the
+byte-identical determinism contract (``stats.retries`` /
+``stats.morsels_recovered`` record it).  :class:`~repro.query.faults
+.FaultPlan` (or the ``REPRO_FAULTS`` environment variable) injects
+deterministic faults for chaos testing.
 """
 
 from .backends import (
@@ -37,12 +53,15 @@ from .backends import (
     SerialBackend,
     ThreadBackend,
     WorkerPayload,
+    reply_checksum,
 )
 from .binding import MatchBatch, concat_batches
 from .engine import Database, IndexCreationResult
 from .executor import CountSink, Executor, FlattenSink, MorselExecutor, QueryResult
 from .factorized import FactorizedBatch, FactorizedSegment
+from .faults import FaultPlan
 from .morsels import degree_weighted_ranges, even_ranges, ranges_of_size
+from .runtime import CancellationToken, QueryContext
 from .naive import NaiveMatcher
 from .operators import (
     ExecutionContext,
@@ -73,12 +92,15 @@ from .predicates import (
 
 __all__ = [
     "BACKENDS",
+    "CancellationToken",
     "CompareOp",
     "Comparison",
     "Constant",
     "CostModel",
     "CountSink",
     "Database",
+    "FaultPlan",
+    "QueryContext",
     "ExecutionContext",
     "ExecutionStats",
     "Executor",
@@ -118,5 +140,6 @@ __all__ = [
     "predicate_subsumes",
     "prop",
     "ranges_of_size",
+    "reply_checksum",
     "residual_conjuncts",
 ]

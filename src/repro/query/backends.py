@@ -40,6 +40,33 @@ the pinned generation even if a maintenance flush installs a newer one in
 the parent between planning and execution.  The task spec carries the pinned
 generation and the worker refuses mismatched specs, turning any routing bug
 into a loud error instead of a silently incoherent read.
+
+Fault tolerance
+---------------
+
+Backends are the detection layer of the query runtime's crash recovery
+(the *reaction* — retry, then serial fallback — lives in the dispatcher,
+:meth:`~repro.query.executor.MorselExecutor._dispatch`):
+
+* ``result()`` raises the recoverable :class:`~repro.errors.WorkerCrashError`
+  when a morsel's output is lost or untrustworthy.  For the process backend
+  that means: a pool worker died while the morsel was in flight (watched via
+  the pool's worker processes; the reply would otherwise never arrive and
+  ``get()`` would block forever), no reply within the per-morsel timeout
+  (``REPRO_MORSEL_TIMEOUT``), or a reply whose checksum does not match its
+  payload.  In-process backends convert the injected-fault signals of
+  :mod:`repro.query.faults` the same way.
+* Process replies travel in a *checksummed envelope*
+  ``(encoded, stats_tuple, checksum)`` — :func:`reply_checksum` covers the
+  raw column bytes, the structure, and the stats — so a corrupted transport
+  is detected in the parent instead of silently merging wrong rows.
+* Blocking waits are *polled* against the query's
+  :class:`~repro.query.runtime.QueryContext`, so a deadline or cancellation
+  fires within one poll interval even while a worker is stuck.
+* Worker exceptions are **not** recoverable: a deterministic bug re-raised
+  from ``result()`` propagates (retrying it cannot succeed, and the serial
+  fallback would only reproduce it); the dispatcher still closes the
+  backend, so no pool outlives the error.
 """
 
 from __future__ import annotations
@@ -47,18 +74,29 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import multiprocessing
+import os
 import pickle
 import threading
+import time
+import zlib
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
-from ..errors import ExecutionError
+from ..errors import ExecutionError, WorkerCrashError
 from ..graph.graph import PropertyGraph
 from .binding import MatchBatch
 from .factorized import FactorizedBatch, FactorizedSegment
+from .faults import (
+    FAULT_KILL_EXIT_CODE,
+    FaultPlan,
+    InjectedReplyCorruption,
+    InjectedWorkerCrash,
+)
+from .runtime import QueryContext
 from .operators import (
     ExecutionContext,
     ExecutionStats,
@@ -73,6 +111,20 @@ from .plan import QueryPlan
 # ----------------------------------------------------------------------
 # the morsel body (shared by every backend)
 # ----------------------------------------------------------------------
+def _runtime_checked(
+    stream: Iterator[MatchBatch], context: ExecutionContext
+) -> Iterator[MatchBatch]:
+    """Interleave cooperative deadline/cancellation checks into a batch stream.
+
+    Wrapped around the *scan* stream, so the check granularity is one scan
+    batch of pipeline work even for plans whose later operators filter most
+    batches away before they reach the output loop.
+    """
+    for batch in stream:
+        context.check_runtime()
+        yield batch
+
+
 def run_pipeline(
     plan: QueryPlan, context: ExecutionContext, scan: Optional[ScanVertices] = None
 ) -> Iterator[MatchBatch]:
@@ -80,17 +132,25 @@ def run_pipeline(
 
     ``scan`` optionally replaces the plan's leading scan operator (the morsel
     dispatcher substitutes a range-restricted clone); the remaining operators
-    are shared as-is — they are stateless between calls.
+    are shared as-is — they are stateless between calls.  When the context
+    carries a :class:`~repro.query.runtime.QueryContext`, the deadline and
+    cancellation token are checked between batches (on the scan stream and
+    on the output stream), raising
+    :class:`~repro.errors.QueryTimeoutError` /
+    :class:`~repro.errors.QueryCancelledError` mid-stream.
     """
     lead = scan if scan is not None else plan.operators[0]
     assert isinstance(lead, ScanVertices)
     stream: Iterator[MatchBatch] = lead.execute(context)
+    if context.runtime is not None:
+        stream = _runtime_checked(stream, context)
     for operator in plan.operators[1:]:
         if isinstance(operator, (ExtendIntersect, MultiExtend, Filter)):
             stream = operator.execute(stream, context)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unsupported operator {type(operator).__name__}")
     for batch in stream:
+        context.check_runtime()
         context.stats.output_rows += len(batch)
         yield batch
 
@@ -118,10 +178,13 @@ def run_pipeline_factorized(
     lead = scan if scan is not None else plan.operators[0]
     assert isinstance(lead, ScanVertices)
     stream: Iterator[MatchBatch] = lead.execute(context)
+    if context.runtime is not None:
+        stream = _runtime_checked(stream, context)
     for operator in plan.operators[1:suffix_start]:
         stream = operator.execute(stream, context)
     suffix = plan.operators[suffix_start:]
     for batch in stream:
+        context.check_runtime()
         if len(batch) == 0:
             continue
         segments = tuple(
@@ -141,6 +204,7 @@ def run_morsel(
     start: int,
     stop: int,
     factorized: bool = False,
+    runtime: Optional[QueryContext] = None,
 ) -> Tuple[List[object], ExecutionStats]:
     """Run the full pipeline over one vertex-range morsel.
 
@@ -150,15 +214,54 @@ def run_morsel(
     :func:`run_pipeline_factorized` instead and returns
     :class:`~repro.query.factorized.FactorizedBatch` objects (never
     re-split: their prefixes are already at most the in-flight size).
+    ``runtime`` (in-process backends only — it cannot cross a process
+    boundary) enables cooperative per-batch deadline/cancellation checks.
     """
     stats = ExecutionStats()
     context = ExecutionContext(
-        graph=graph, query=plan.query, batch_size=batch_size, stats=stats
+        graph=graph,
+        query=plan.query,
+        batch_size=batch_size,
+        stats=stats,
+        runtime=runtime,
     )
     scan = replace(plan.operators[0], vertex_range=(start, stop))
     pipeline = run_pipeline_factorized if factorized else run_pipeline
     batches = list(pipeline(plan, context, scan=scan))
     return batches, stats
+
+
+def run_morsel_faulted(
+    plan: QueryPlan,
+    graph: PropertyGraph,
+    batch_size: int,
+    start: int,
+    stop: int,
+    factorized: bool = False,
+    runtime: Optional[QueryContext] = None,
+    faults: Optional[FaultPlan] = None,
+    index: int = 0,
+    attempt: int = 0,
+) -> Tuple[List[object], ExecutionStats]:
+    """:func:`run_morsel` with the in-process fault-injection hooks applied.
+
+    ``kill``/``error``/``delay`` faults fire before the body (a crash or a
+    stuck worker never produces partial output); ``corrupt`` fires after it
+    (the body's work is done, its reply is untrustworthy).  The injected
+    signals escape as their raw harness exceptions — the backends convert
+    them into :class:`~repro.errors.WorkerCrashError` exactly where a real
+    failure of the same kind would surface.
+    """
+    if faults is not None:
+        faults.apply_before_morsel(index, attempt)
+    result = run_morsel(
+        plan, graph, batch_size, start, stop, factorized=factorized, runtime=runtime
+    )
+    if faults is not None and faults.corrupts(index, attempt):
+        raise InjectedReplyCorruption(
+            f"injected reply corruption on morsel {index} (attempt {attempt})"
+        )
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -253,6 +356,58 @@ def decode_factorized_batches(
 
 
 # ----------------------------------------------------------------------
+# reply integrity
+# ----------------------------------------------------------------------
+def reply_checksum(encoded: Sequence[object], stats_tuple: Tuple) -> int:
+    """CRC32 over a reply envelope's structure, buffer bytes, and stats.
+
+    Walks the nested tuple/list structure of an encoded reply (flat or
+    factorized), folding in each numpy array's dtype, shape, and raw bytes,
+    each scalar's ``repr``, and a length marker per sequence — so a flipped
+    payload byte, a truncated batch list, and a reordered column all change
+    the checksum.  Fast (one C-speed pass per buffer) relative to the pickle
+    transport the reply already paid for.
+    """
+    crc = zlib.crc32(repr(stats_tuple).encode())
+    pending: List[object] = [encoded]
+    while pending:
+        value = pending.pop()
+        if isinstance(value, np.ndarray):
+            crc = zlib.crc32(str((value.dtype.str, value.shape)).encode(), crc)
+            crc = zlib.crc32(np.ascontiguousarray(value).tobytes(), crc)
+        elif isinstance(value, (tuple, list)):
+            crc = zlib.crc32(f"seq:{len(value)}".encode(), crc)
+            pending.extend(reversed(value))
+        else:
+            crc = zlib.crc32(repr(value).encode(), crc)
+    return crc
+
+
+def _corrupt_reply(encoded: Sequence[object], checksum: int) -> int:
+    """Damage a reply envelope in place (fault injection only).
+
+    Flips one bit in the first non-empty integer buffer found in the
+    encoded structure; when the reply has no such buffer (e.g. an
+    empty-result morsel), damages the checksum instead so the corruption is
+    still detectable.  Returns the checksum to ship (unchanged when a
+    buffer was flipped — the *payload* no longer matches it).
+    """
+    pending: List[object] = [encoded]
+    while pending:
+        value = pending.pop()
+        if isinstance(value, np.ndarray):
+            if value.size and np.issubdtype(value.dtype, np.integer):
+                try:
+                    value.flat[0] ^= 1
+                    return checksum
+                except (ValueError, TypeError):  # pragma: no cover - read-only
+                    continue
+        elif isinstance(value, (tuple, list)):
+            pending.extend(reversed(value))
+    return checksum ^ 0x5A5A
+
+
+# ----------------------------------------------------------------------
 # process-backend wire format
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -273,12 +428,18 @@ class MorselTaskSpec:
             state, which would silently mix edge/vertex IDs across flush
             remappings.
         start, stop: the half-open vertex-ID range of the morsel.
+        index: the morsel's deterministic submission index (what the
+            payload's fault plan keys on).
+        attempt: 0 for the first submission, incremented per retry of the
+            same range (first-attempt-only faults key on it).
     """
 
     plan_id: int
     generation: Optional[int]
     start: int
     stop: int
+    index: int = 0
+    attempt: int = 0
 
 
 @dataclass
@@ -293,7 +454,9 @@ class WorkerPayload:
 
     ``factorized`` selects the morsel body's pipeline (and thereby the reply
     encoding): flat batches for row-producing sinks, unexpanded segment
-    buffers + per-row cardinalities for aggregate sinks.
+    buffers + per-row cardinalities for aggregate sinks.  ``faults`` ships
+    the chaos-run fault plan to the workers (children never read the
+    environment, so injection behaves identically under every start method).
     """
 
     plan_id: int
@@ -302,6 +465,7 @@ class WorkerPayload:
     graph: PropertyGraph
     batch_size: int
     factorized: bool = False
+    faults: Optional[FaultPlan] = None
 
 
 #: Per-process registry of the payload the pool initializer rehydrated.
@@ -311,6 +475,55 @@ _WORKER_PAYLOAD: Optional[WorkerPayload] = None
 #: initialized before failing the query (generous: spawn starts a fresh
 #: interpreter per worker; healthy fork pools answer in milliseconds).
 WORKER_STARTUP_TIMEOUT_SECONDS = 30.0
+
+#: Granularity of the parallel backends' blocking result waits.  Each poll
+#: interval the backend re-checks the query's deadline/cancellation and the
+#: process backend re-checks its workers' liveness, so both guardrails fire
+#: within ~this many seconds of the triggering event.
+_RESULT_POLL_SECONDS = 0.05
+
+#: After a pool worker is observed dead, how long the process backend keeps
+#: waiting for the in-flight morsel's reply before declaring it lost.  The
+#: reply may still arrive: the dead worker might not be the one holding
+#: this morsel, and a finished reply can sit in the result pipe behind the
+#: crash.  One short grace beat distinguishes the two without stalling
+#: recovery.
+DEATH_GRACE_SECONDS = 0.25
+
+#: Default per-morsel reply timeout for the process backend (None disables).
+#: Generous on purpose: it is a stuck-worker backstop, not a deadline — use
+#: ``Database.run(timeout=...)`` for query-level budgets.
+DEFAULT_MORSEL_TIMEOUT_SECONDS = 120.0
+
+#: Environment override for the per-morsel reply timeout (seconds; ``0``
+#: disables the backstop entirely).
+MORSEL_TIMEOUT_ENV_VAR = "REPRO_MORSEL_TIMEOUT"
+
+#: Environment variable selecting the default morsel backend by name.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+def resolve_morsel_timeout(value: Optional[float] = None) -> Optional[float]:
+    """The per-morsel reply timeout: explicit value, env override, or default.
+
+    ``0`` (from either source) disables the backstop and returns None.
+    """
+    if value is None:
+        raw = os.environ.get(MORSEL_TIMEOUT_ENV_VAR)
+        if raw is None or not raw.strip():
+            return DEFAULT_MORSEL_TIMEOUT_SECONDS
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ExecutionError(
+                f"${MORSEL_TIMEOUT_ENV_VAR} must be a number of seconds, "
+                f"got {raw!r}"
+            ) from None
+    if value < 0:
+        raise ExecutionError(
+            f"morsel timeout must be >= 0 seconds (0 disables), got {value!r}"
+        )
+    return value if value > 0 else None
 
 #: Monotonic ids tying task specs to the payload they belong to.
 _PLAN_IDS = itertools.count(1)
@@ -335,8 +548,16 @@ def _process_worker_ready() -> bool:
 
 def _process_worker_run(
     spec: MorselTaskSpec,
-) -> Tuple[List[object], Tuple[int, ...]]:
-    """Worker body: validate the spec, run the morsel, return columnar results."""
+) -> Tuple[List[object], Tuple, int]:
+    """Worker body: validate the spec, run the morsel, return columnar results.
+
+    The reply is a checksummed envelope ``(encoded, stats_tuple, checksum)``.
+    Injected faults fire here the way real failures would: ``kill`` is a
+    hard ``os._exit`` (the parent sees a dead child and a lost task, not a
+    pickled exception), ``delay`` sleeps holding the morsel, ``error``
+    raises through the pool's normal exception transport, and ``corrupt``
+    damages the envelope *after* its checksum was computed.
+    """
     payload = _WORKER_PAYLOAD
     if payload is None:
         raise ExecutionError(
@@ -351,6 +572,17 @@ def _process_worker_run(
             f"{payload.generation}); tasks and payloads from different "
             "store generations must not mix"
         )
+    faults = payload.faults
+    if faults is not None:
+        if faults.kills(spec.index, spec.attempt):
+            os._exit(FAULT_KILL_EXIT_CODE)
+        if faults.errors(spec.index, spec.attempt):
+            raise RuntimeError(
+                f"injected worker error on morsel {spec.index} "
+                f"(attempt {spec.attempt})"
+            )
+        if faults.delays(spec.index, spec.attempt):
+            time.sleep(faults.delay_seconds)
     batches, stats = run_morsel(
         payload.plan,
         payload.graph,
@@ -360,8 +592,14 @@ def _process_worker_run(
         factorized=payload.factorized,
     )
     if payload.factorized:
-        return encode_factorized_batches(batches), dataclasses.astuple(stats)
-    return encode_batches(batches), dataclasses.astuple(stats)
+        encoded: List[object] = encode_factorized_batches(batches)
+    else:
+        encoded = encode_batches(batches)
+    stats_tuple = dataclasses.astuple(stats)
+    checksum = reply_checksum(encoded, stats_tuple)
+    if faults is not None and faults.corrupts(spec.index, spec.attempt):
+        checksum = _corrupt_reply(encoded, checksum)
+    return encoded, stats_tuple, checksum
 
 
 def preferred_start_method() -> str:
@@ -410,17 +648,33 @@ class MorselBackend:
     :class:`~repro.query.factorized.FactorizedBatch` objects (segment
     buffers + partial counts over the wire for the process backend) instead
     of flat batches.
+
+    ``open(..., runtime=...)`` arms the fault-tolerance layer: ``result``'s
+    blocking waits are polled against the runtime so a deadline or a
+    cancellation interrupts them, and in-process morsel bodies run
+    cooperative per-batch checks.  ``open(..., faults=...)`` arms the
+    fault-injection hooks; ``submit``'s ``index``/``attempt`` identify each
+    submission to them (and to the dispatcher's retry bookkeeping).
+    ``result`` raises the recoverable :class:`~repro.errors.WorkerCrashError`
+    when the submitted morsel's output was lost to a worker failure.
     """
 
     #: Registry name (also the ``Database.run(backend=...)`` spelling).
     name = "abstract"
 
     def open(
-        self, executor, plan: QueryPlan, factorized: bool = False
+        self,
+        executor,
+        plan: QueryPlan,
+        factorized: bool = False,
+        runtime: Optional[QueryContext] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:  # pragma: no cover
         raise NotImplementedError
 
-    def submit(self, start: int, stop: int):  # pragma: no cover
+    def submit(
+        self, start: int, stop: int, index: int = 0, attempt: int = 0
+    ):  # pragma: no cover
         raise NotImplementedError
 
     def result(self, handle) -> Tuple[List[MatchBatch], ExecutionStats]:
@@ -440,25 +694,46 @@ class SerialBackend(MorselBackend):
 
     name = "serial"
 
-    def open(self, executor, plan: QueryPlan, factorized: bool = False) -> None:
+    def open(
+        self,
+        executor,
+        plan: QueryPlan,
+        factorized: bool = False,
+        runtime: Optional[QueryContext] = None,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
         self._plan = plan
         self._graph = executor.graph
         self._batch_size = executor.batch_size * executor.coalesce
         self._factorized = factorized
+        self._runtime = runtime
+        self._faults = faults
 
-    def submit(self, start: int, stop: int) -> Tuple[int, int]:
-        return (start, stop)
+    def submit(
+        self, start: int, stop: int, index: int = 0, attempt: int = 0
+    ) -> Tuple[int, int, int, int]:
+        return (start, stop, index, attempt)
 
     def result(self, handle) -> Tuple[List[MatchBatch], ExecutionStats]:
-        start, stop = handle
-        return run_morsel(
-            self._plan,
-            self._graph,
-            self._batch_size,
-            start,
-            stop,
-            factorized=self._factorized,
-        )
+        start, stop, index, attempt = handle
+        try:
+            return run_morsel_faulted(
+                self._plan,
+                self._graph,
+                self._batch_size,
+                start,
+                stop,
+                factorized=self._factorized,
+                runtime=self._runtime,
+                faults=self._faults,
+                index=index,
+                attempt=attempt,
+            )
+        except (InjectedWorkerCrash, InjectedReplyCorruption) as fault:
+            raise WorkerCrashError(
+                f"morsel {index} [{start}, {stop}) lost to injected fault: "
+                f"{fault}"
+            ) from fault
 
     def close(self) -> None:
         self._plan = None
@@ -470,29 +745,71 @@ class ThreadBackend(MorselBackend):
 
     name = "thread"
 
-    def open(self, executor, plan: QueryPlan, factorized: bool = False) -> None:
+    def open(
+        self,
+        executor,
+        plan: QueryPlan,
+        factorized: bool = False,
+        runtime: Optional[QueryContext] = None,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
         self._plan = plan
         self._graph = executor.graph
         self._batch_size = executor.batch_size * executor.coalesce
         self._factorized = factorized
+        self._runtime = runtime
+        self._faults = faults
         self._pool = ThreadPoolExecutor(max_workers=executor.num_workers)
 
-    def submit(self, start: int, stop: int):
-        return self._pool.submit(
-            run_morsel,
-            self._plan,
-            self._graph,
-            self._batch_size,
+    def submit(self, start: int, stop: int, index: int = 0, attempt: int = 0):
+        return (
+            self._pool.submit(
+                run_morsel_faulted,
+                self._plan,
+                self._graph,
+                self._batch_size,
+                start,
+                stop,
+                factorized=self._factorized,
+                runtime=self._runtime,
+                faults=self._faults,
+                index=index,
+                attempt=attempt,
+            ),
+            index,
             start,
             stop,
-            factorized=self._factorized,
         )
 
     def result(self, handle) -> Tuple[List[MatchBatch], ExecutionStats]:
-        return handle.result()
+        future, index, start, stop = handle
+        try:
+            if self._runtime is None:
+                return future.result()
+            # Poll so the caller's deadline/cancellation can interrupt the
+            # wait even while the worker thread is stuck in non-cooperative
+            # code (e.g. an injected delay sleeping inside the morsel body).
+            while True:
+                try:
+                    return future.result(timeout=_RESULT_POLL_SECONDS)
+                except FutureTimeoutError:
+                    self._runtime.check()
+        except (InjectedWorkerCrash, InjectedReplyCorruption) as fault:
+            raise WorkerCrashError(
+                f"morsel {index} [{start}, {stop}) lost to injected fault: "
+                f"{fault}"
+            ) from fault
 
     def close(self) -> None:
-        self._pool.shutdown(wait=True, cancel_futures=True)
+        # An aborted query (deadline/cancellation — the dispatcher sets the
+        # runtime's token before closing) must not block on workers stuck in
+        # non-cooperative code: queued futures are cancelled, cooperative
+        # bodies stop at their next batch check, and a truly stuck thread is
+        # left to finish in the background (Python threads cannot be
+        # killed); waiting for it here would defeat the deadline.
+        runtime = getattr(self, "_runtime", None)
+        aborted = runtime is not None and runtime.cancelled
+        self._pool.shutdown(wait=not aborted, cancel_futures=True)
 
 
 class ProcessBackend(MorselBackend):
@@ -529,7 +846,14 @@ class ProcessBackend(MorselBackend):
                 return "forkserver"
         return method
 
-    def open(self, executor, plan: QueryPlan, factorized: bool = False) -> None:
+    def open(
+        self,
+        executor,
+        plan: QueryPlan,
+        factorized: bool = False,
+        runtime: Optional[QueryContext] = None,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
         plan_id = next(_PLAN_IDS)
         payload = WorkerPayload(
             plan_id=plan_id,
@@ -538,10 +862,15 @@ class ProcessBackend(MorselBackend):
             graph=executor.graph,
             batch_size=executor.batch_size * executor.coalesce,
             factorized=factorized,
+            faults=faults,
         )
         self._plan_id = plan_id
         self._generation = payload.generation
         self._factorized = factorized
+        self._runtime = runtime
+        self._morsel_timeout = resolve_morsel_timeout(
+            getattr(executor, "morsel_timeout", None)
+        )
         method = self._start_method()
         context = multiprocessing.get_context(method)
         self._pool = context.Pool(
@@ -578,27 +907,128 @@ class ProcessBackend(MorselBackend):
             raise ExecutionError(
                 "process-backend worker started without a rehydrated payload"
             )
+        self._seen_pids = self._worker_pids()
+        self._death_ever = False
 
-    def submit(self, start: int, stop: int):
+    # ------------------------------------------------------------------
+    # worker liveness
+    # ------------------------------------------------------------------
+    def _worker_pids(self) -> frozenset:
+        """PIDs of the pool's current worker processes (empty when opaque)."""
+        workers = getattr(self._pool, "_pool", None)
+        if not workers:  # pragma: no cover - pool internals unavailable
+            return frozenset()
+        return frozenset(
+            worker.pid for worker in workers if worker.pid is not None
+        )
+
+    def _death_observed(self) -> bool:
+        """True once any pool worker has died during this execution (sticky).
+
+        ``multiprocessing.Pool`` auto-respawns dead workers (with the same
+        initializer, so replacements rehydrate the payload), but the task a
+        dead worker held is lost forever and its ``get()`` would block
+        until the morsel timeout.  Watching the worker set — a pid we have
+        not seen before means a respawn, i.e. a death — turns that hang
+        into prompt recovery.  Exit codes are checked too: a dead worker
+        the pool has not yet reaped keeps its pid but gains an exitcode.
+
+        The observation is *sticky*: which morsel the dead worker held is
+        unknowable from the parent, so after any death every outstanding
+        reply is given one grace beat before being declared lost.  A
+        false positive only costs a redundant retry (duplicate results are
+        never merged — the retry replaces the declared-lost reply); a
+        missed loss would cost a morsel-timeout hang.
+        """
+        if self._death_ever:
+            return True
+        workers = getattr(self._pool, "_pool", None)
+        if not workers:  # pragma: no cover - pool internals unavailable
+            return False
+        died = any(worker.exitcode is not None for worker in workers)
+        pids = self._worker_pids()
+        if pids - self._seen_pids:
+            died = True
+        self._seen_pids = self._seen_pids | pids
+        self._death_ever = died
+        return died
+
+    def submit(self, start: int, stop: int, index: int = 0, attempt: int = 0):
         spec = MorselTaskSpec(
             plan_id=self._plan_id,
             generation=self._generation,
             start=start,
             stop=stop,
+            index=index,
+            attempt=attempt,
         )
-        return self._pool.apply_async(_process_worker_run, (spec,))
+        return (
+            self._pool.apply_async(_process_worker_run, (spec,)),
+            index,
+            start,
+            stop,
+        )
 
     def result(self, handle) -> Tuple[List[MatchBatch], ExecutionStats]:
-        encoded, stats_tuple = handle.get()
+        async_result, index, start, stop = handle
+        started = time.monotonic()
+        death_seen_at: Optional[float] = None
+        while True:
+            try:
+                reply = async_result.get(timeout=_RESULT_POLL_SECONDS)
+                break
+            except multiprocessing.TimeoutError:
+                pass
+            now = time.monotonic()
+            if self._runtime is not None:
+                self._runtime.check()
+            if death_seen_at is None and self._death_observed():
+                death_seen_at = now
+            if death_seen_at is not None and now - death_seen_at >= DEATH_GRACE_SECONDS:
+                raise WorkerCrashError(
+                    f"morsel {index} [{start}, {stop}) lost: a process-pool "
+                    "worker died while the morsel was in flight and its "
+                    "reply never arrived"
+                )
+            if (
+                self._morsel_timeout is not None
+                and now - started >= self._morsel_timeout
+            ):
+                raise WorkerCrashError(
+                    f"morsel {index} [{start}, {stop}) produced no reply "
+                    f"within {self._morsel_timeout:g}s "
+                    f"(${MORSEL_TIMEOUT_ENV_VAR} to adjust); treating the "
+                    "worker as hung"
+                )
+        try:
+            encoded, stats_tuple, checksum = reply
+        except (TypeError, ValueError):
+            raise WorkerCrashError(
+                f"morsel {index} [{start}, {stop}) returned a malformed "
+                "reply envelope"
+            ) from None
+        if reply_checksum(encoded, stats_tuple) != checksum:
+            raise WorkerCrashError(
+                f"morsel {index} [{start}, {stop}) reply failed its "
+                "checksum; discarding the corrupt payload"
+            )
         decode = decode_factorized_batches if self._factorized else decode_batches
         return decode(encoded), ExecutionStats(*stats_tuple)
 
     def close(self) -> None:
         # All retrieved results are already materialized in the parent, so
         # terminate (rather than drain) any submissions an abandoned
-        # iteration left behind.
-        self._pool.terminate()
-        self._pool.join()
+        # iteration left behind.  ``join`` runs in a ``finally`` so workers
+        # are reaped even when ``terminate`` itself raises — a pool must
+        # never outlive its query, least of all on the error path.
+        pool = getattr(self, "_pool", None)
+        if pool is None:
+            return
+        self._pool = None
+        try:
+            pool.terminate()
+        finally:
+            pool.join()
 
 
 #: Registry of backend names accepted by ``MorselExecutor``/``Database``.
@@ -613,12 +1043,21 @@ DEFAULT_BACKEND = ThreadBackend.name
 
 
 def resolve_backend(backend) -> MorselBackend:
-    """A ready-to-open backend instance from a name or an instance."""
+    """A ready-to-open backend instance from a name or an instance.
+
+    Raises a typed :class:`~repro.errors.ExecutionError` (so callers
+    catching :class:`~repro.errors.ReproError` see it) naming every valid
+    backend and the environment knob — a misconfigured deployment should
+    read its fix straight off the traceback.
+    """
     if isinstance(backend, MorselBackend):
         return backend
+    names = ", ".join(repr(name) for name in sorted(BACKENDS))
     try:
         return BACKENDS[backend]()
     except (KeyError, TypeError):
         raise ExecutionError(
-            f"unknown morsel backend {backend!r}; available: {sorted(BACKENDS)}"
+            f"unknown morsel backend {backend!r}; valid backends are "
+            f"{names} (pass one to Database.run(backend=...) or set the "
+            f"${BACKEND_ENV_VAR} environment variable)"
         ) from None

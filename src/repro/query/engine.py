@@ -41,11 +41,19 @@ from ..index.primary import PrimaryIndex, ReconfigurationResult
 from ..index.vertex_partitioned import VertexPartitionedIndex
 from ..index.views import OneHopView, TwoHopView
 from ..storage.memory import MemoryReport
-from .backends import BACKENDS, DEFAULT_BACKEND, MorselBackend
+from .backends import (
+    BACKEND_ENV_VAR,
+    BACKENDS,
+    DEFAULT_BACKEND,
+    MORSEL_TIMEOUT_ENV_VAR,
+    MorselBackend,
+)
 from .executor import Executor, MorselExecutor, QueryResult
+from .faults import FAULTS_ENV_VAR
 from .optimizer import Optimizer
 from .pattern import QueryGraph
 from .plan import QueryPlan
+from .runtime import CancellationToken
 
 
 @dataclass
@@ -61,10 +69,8 @@ class IndexCreationResult:
 #: (used by CI to push the whole test suite through the parallel path).
 PARALLELISM_ENV_VAR = "REPRO_PARALLELISM"
 
-#: Environment variable supplying the default morsel-dispatch backend of
-#: ``Database.run`` (``serial``, ``thread``, or ``process``; used by CI to
-#: push the whole test suite through the process-pool path).
-BACKEND_ENV_VAR = "REPRO_BACKEND"
+# BACKEND_ENV_VAR ("REPRO_BACKEND") now lives in .backends next to the
+# registry it selects from; re-exported here for backward compatibility.
 
 
 class Database:
@@ -370,6 +376,8 @@ class Database:
         parallelism: Optional[int] = None,
         backend: Optional[str] = None,
         factorized: Optional[bool] = None,
+        timeout: Optional[float] = None,
+        cancel: Optional[CancellationToken] = None,
     ) -> QueryResult:
         """Plan (if needed) and execute a query.
 
@@ -393,11 +401,24 @@ class Database:
                 (``combos_avoided``, ``segments_emitted``) are filled, no
                 rows are materialized, and the plan must have a
                 factorizable suffix (incompatible with ``materialize``).
+            timeout: wall-clock budget in seconds; a query that exceeds it
+                raises :class:`~repro.errors.QueryTimeoutError` (with the
+                partial stats attached) at its next check point — between
+                batches/morsels, or within one poll interval when a worker
+                is stuck.  A finished run records the unused budget in
+                ``result.stats.deadline_remaining``.
+            cancel: a :class:`~repro.query.runtime.CancellationToken`;
+                triggering it from any thread stops the query at its next
+                check point with :class:`~repro.errors.QueryCancelledError`.
         """
         workers = self._resolve_parallelism(parallelism)
         plan, snapshot = self._pinned_plan(query)
         return self._make_executor(snapshot.graph, workers, backend).run(
-            plan, materialize=materialize, factorized=factorized
+            plan,
+            materialize=materialize,
+            factorized=factorized,
+            timeout=timeout,
+            cancel=cancel,
         )
 
     def count(
@@ -406,6 +427,8 @@ class Database:
         parallelism: Optional[int] = None,
         backend: Optional[str] = None,
         factorized: Optional[bool] = None,
+        timeout: Optional[float] = None,
+        cancel: Optional[CancellationToken] = None,
     ) -> int:
         """Number of matches of a query (factorized when the plan allows).
 
@@ -416,11 +439,12 @@ class Database:
         back to the flat pipeline otherwise.  ``factorized=False`` forces
         the flat oracle path; ``True`` requires a factorizable plan.  The
         returned count is identical on every path and backend.
+        ``timeout``/``cancel`` behave as in :meth:`run`.
         """
         workers = self._resolve_parallelism(parallelism)
         plan, snapshot = self._pinned_plan(query)
         return self._make_executor(snapshot.graph, workers, backend).count(
-            plan, factorized=factorized
+            plan, factorized=factorized, timeout=timeout, cancel=cancel
         )
 
     # ------------------------------------------------------------------
@@ -485,5 +509,32 @@ class Database:
             "result.stats\n"
             "  reports combos_avoided (flat rows never materialized) and "
             "segments_emitted."
+        )
+        lines.append(
+            "Robustness (fault-tolerant query runtime):\n"
+            "  run()/count() accept timeout= (wall-clock seconds; raises "
+            "QueryTimeoutError\n"
+            "  with partial stats attached) and cancel= (a "
+            "CancellationToken; trigger it\n"
+            "  from any thread to raise QueryCancelledError).  Checks are "
+            "cooperative —\n"
+            "  between batches and between morsels — and the parallel "
+            "backends poll their\n"
+            "  blocking waits, so deadlines fire even while a worker is "
+            "stuck.\n"
+            "  The process backend recovers from worker crashes: a dead "
+            "worker, a reply\n"
+            "  missing past the per-morsel backstop "
+            f"(${MORSEL_TIMEOUT_ENV_VAR}), or a reply\n"
+            "  failing its checksum loses only that morsel, which is "
+            "retried and finally\n"
+            "  re-executed serially in-process — results stay "
+            "byte-identical to a\n"
+            "  fault-free run; stats.retries / stats.morsels_recovered "
+            "record the recovery.\n"
+            f"  Chaos knob: ${FAULTS_ENV_VAR} (kill@K | delay@K:SECS | "
+            "corrupt@K | error@K,\n"
+            "  '!' suffix = every attempt) injects deterministic faults "
+            "for testing."
         )
         return "\n".join(lines)

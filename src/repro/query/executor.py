@@ -53,10 +53,24 @@ accounting, identical :class:`~repro.query.operators.ExecutionStats` — for
 ``parallelism=1`` (the default everywhere) bypasses the dispatcher entirely
 and remains the oracle the parallel paths are tested against
 (``tests/test_backend_equivalence.py``).
+
+**Fault tolerance.**  Determinism survives worker failures: a morsel lost
+to a crash, hang, or corrupt reply (the backend raises
+:class:`~repro.errors.WorkerCrashError`) is retried at the front of the
+dispatch window and, past ``max_retries``, re-executed serially in the
+parent — so the merged output stays byte-identical to the fault-free run
+while ``ExecutionStats.retries``/``morsels_recovered`` record the recovery.
+Queries also carry optional runtime guardrails — a wall-clock ``timeout``
+and a cooperative ``cancel`` token (:mod:`repro.query.runtime`) — checked
+between batches and between morsels, and enforced against stuck workers by
+the backends' polled waits.  The chaos suite
+(``tests/test_fault_injection.py``) drives all of this with deterministic
+injected faults (:mod:`repro.query.faults`).
 """
 
 from __future__ import annotations
 
+import os
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -64,7 +78,12 @@ from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..errors import ExecutionError
+from ..errors import (
+    ExecutionError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    WorkerCrashError,
+)
 from ..graph.graph import PropertyGraph
 from ..graph.types import Direction
 from .backends import (
@@ -72,14 +91,17 @@ from .backends import (
     DEFAULT_BACKEND,
     MorselBackend,
     resolve_backend,
+    run_morsel,
     run_pipeline,
     run_pipeline_factorized,
 )
 from .binding import DEFAULT_BATCH_SIZE, MatchBatch
 from .factorized import FactorizedBatch
+from .faults import FAULTS_ENV_VAR, FaultPlan
 from .morsels import degree_weighted_ranges, even_ranges, ranges_of_size
 from .operators import ExecutionContext, ExecutionStats, ScanVertices
 from .plan import QueryPlan
+from .runtime import CancellationToken, QueryContext, make_runtime
 
 
 @dataclass
@@ -163,12 +185,18 @@ class PlanRunner:
     """
 
     def execute(
-        self, plan: QueryPlan, stats: Optional[ExecutionStats] = None
+        self,
+        plan: QueryPlan,
+        stats: Optional[ExecutionStats] = None,
+        runtime: Optional[QueryContext] = None,
     ) -> Iterator[MatchBatch]:
         raise NotImplementedError
 
     def execute_factorized(
-        self, plan: QueryPlan, stats: Optional[ExecutionStats] = None
+        self,
+        plan: QueryPlan,
+        stats: Optional[ExecutionStats] = None,
+        runtime: Optional[QueryContext] = None,
     ) -> Iterator[FactorizedBatch]:
         raise NotImplementedError
 
@@ -186,7 +214,13 @@ class PlanRunner:
             )
         return bool(factorized)
 
-    def count(self, plan: QueryPlan, factorized: Optional[bool] = None) -> int:
+    def count(
+        self,
+        plan: QueryPlan,
+        factorized: Optional[bool] = None,
+        timeout: Optional[float] = None,
+        cancel: Optional[CancellationToken] = None,
+    ) -> int:
         """Number of matches produced by the plan (sink-aware).
 
         ``factorized=None`` (the default) computes the count from
@@ -194,29 +228,49 @@ class PlanRunner:
         falls back to the flat stream otherwise; ``False`` forces the flat
         oracle path; ``True`` requires a factorizable plan (raises
         otherwise).  The count is identical either way.
+
+        ``timeout`` (seconds) and ``cancel`` (a
+        :class:`~repro.query.runtime.CancellationToken`) arm the query's
+        runtime guardrails: a violated deadline raises
+        :class:`~repro.errors.QueryTimeoutError`, a triggered token
+        :class:`~repro.errors.QueryCancelledError` — both carrying the
+        partial stats merged so far.
         """
         use_factorized = self._resolve_factorized(plan, factorized)
+        runtime = make_runtime(timeout, cancel)
         stream = (
-            self.execute_factorized(plan) if use_factorized else self.execute(plan)
+            self.execute_factorized(plan, runtime=runtime)
+            if use_factorized
+            else self.execute(plan, runtime=runtime)
         )
         return CountSink().drain(stream)
 
-    def collect(self, plan: QueryPlan, limit: Optional[int] = None) -> List[Dict[str, int]]:
+    def collect(
+        self,
+        plan: QueryPlan,
+        limit: Optional[int] = None,
+        timeout: Optional[float] = None,
+        cancel: Optional[CancellationToken] = None,
+    ) -> List[Dict[str, int]]:
         """Materialize matches as dictionaries (optionally limited).
 
         A reached ``limit`` stops the execute stream mid-batch: the final
         batch contributes only its needed prefix rows and no further batch
-        is pulled from the pipeline.
+        is pulled from the pipeline.  ``timeout``/``cancel`` behave as in
+        :meth:`count`.
         """
         if limit is not None and limit <= 0:
             return []
-        return FlattenSink(limit=limit).drain(self.execute(plan))
+        runtime = make_runtime(timeout, cancel)
+        return FlattenSink(limit=limit).drain(self.execute(plan, runtime=runtime))
 
     def run(
         self,
         plan: QueryPlan,
         materialize: bool = False,
         factorized: Optional[bool] = None,
+        timeout: Optional[float] = None,
+        cancel: Optional[CancellationToken] = None,
     ) -> QueryResult:
         """Execute a plan, timing it and gathering execution statistics.
 
@@ -226,6 +280,10 @@ class PlanRunner:
         :class:`CountSink` — the result carries the count and the
         factorized stats (``combos_avoided``, ``segments_emitted``) but no
         rows, so it cannot be combined with ``materialize=True``.
+
+        ``timeout``/``cancel`` behave as in :meth:`count`; a run that
+        finishes under its deadline records the unused budget in
+        ``stats.deadline_remaining``.
         """
         use_factorized = bool(factorized) and self._resolve_factorized(
             plan, factorized
@@ -235,17 +293,24 @@ class PlanRunner:
                 "materialize=True needs flat tuples; a factorized run is "
                 "count-only (use the default flat path to collect matches)"
             )
+        runtime = make_runtime(timeout, cancel)
         stats = ExecutionStats()
         started = time.perf_counter()
         matches: List[Dict[str, int]] = []
         if use_factorized:
-            count = CountSink().drain(self.execute_factorized(plan, stats=stats))
+            count = CountSink().drain(
+                self.execute_factorized(plan, stats=stats, runtime=runtime)
+            )
         elif materialize:
-            matches = FlattenSink().drain(self.execute(plan, stats=stats))
+            matches = FlattenSink().drain(
+                self.execute(plan, stats=stats, runtime=runtime)
+            )
             count = len(matches)
         else:
-            count = CountSink().drain(self.execute(plan, stats=stats))
+            count = CountSink().drain(self.execute(plan, stats=stats, runtime=runtime))
         elapsed = time.perf_counter() - started
+        if runtime is not None and runtime.deadline is not None:
+            stats.deadline_remaining = max(0.0, runtime.remaining())
         return QueryResult(matches=matches, count=count, seconds=elapsed, stats=stats)
 
 
@@ -257,7 +322,10 @@ class Executor(PlanRunner):
         self.batch_size = batch_size
 
     def execute(
-        self, plan: QueryPlan, stats: Optional[ExecutionStats] = None
+        self,
+        plan: QueryPlan,
+        stats: Optional[ExecutionStats] = None,
+        runtime: Optional[QueryContext] = None,
     ) -> Iterator[MatchBatch]:
         """Yield batches of matches produced by the plan."""
         context = ExecutionContext(
@@ -265,11 +333,15 @@ class Executor(PlanRunner):
             query=plan.query,
             batch_size=self.batch_size,
             stats=stats or ExecutionStats(),
+            runtime=runtime,
         )
         yield from run_pipeline(plan, context)
 
     def execute_factorized(
-        self, plan: QueryPlan, stats: Optional[ExecutionStats] = None
+        self,
+        plan: QueryPlan,
+        stats: Optional[ExecutionStats] = None,
+        runtime: Optional[QueryContext] = None,
     ) -> Iterator[FactorizedBatch]:
         """Yield factorized batches: flat prefixes with unexpanded suffixes."""
         context = ExecutionContext(
@@ -277,6 +349,7 @@ class Executor(PlanRunner):
             query=plan.query,
             batch_size=self.batch_size,
             stats=stats or ExecutionStats(),
+            runtime=runtime,
         )
         yield from run_pipeline_factorized(plan, context)
 
@@ -307,6 +380,14 @@ DEFAULT_COALESCE = 2
 #: the window (× the largest morsel output), not to the whole query result.
 MORSEL_WINDOW_PER_WORKER = 2
 
+#: How many times a morsel lost to a worker failure is re-submitted to the
+#: backend before the dispatcher gives up on the pool and re-executes the
+#: range serially in-process.  Two covers the realistic transient cases
+#: (the reply raced a *different* worker's death; the respawned worker
+#: absorbed the retry) without stalling long on a systematically failing
+#: pool.
+MAX_MORSEL_RETRIES = 2
+
 #: Morsel weighting strategies accepted by :class:`MorselExecutor`.
 WEIGHTINGS = ("degree", "even")
 
@@ -334,6 +415,17 @@ class MorselExecutor(PlanRunner):
         weighting: how the scan domain is cut — ``"degree"`` (equal
             adjacency work per morsel, prefix-summed from the primary CSR
             offsets; the default) or ``"even"`` (equal vertex counts).
+        max_retries: re-submissions of a morsel lost to a worker failure
+            before the dispatcher degrades to in-process serial re-execution
+            of the range (``0`` = straight to the serial fallback).
+        morsel_timeout: process-backend per-morsel reply timeout in seconds
+            (``None`` = the :data:`~repro.query.backends
+            .MORSEL_TIMEOUT_ENV_VAR` override or the default backstop;
+            ``0`` disables).
+        fault_plan: a :class:`~repro.query.faults.FaultPlan` (or spec
+            string) injected into this executor's queries — the
+            programmatic spelling of the ``REPRO_FAULTS`` environment
+            variable, for chaos tests.
     """
 
     def __init__(
@@ -345,6 +437,9 @@ class MorselExecutor(PlanRunner):
         coalesce: int = DEFAULT_COALESCE,
         backend: Union[str, MorselBackend] = DEFAULT_BACKEND,
         weighting: str = "degree",
+        max_retries: int = MAX_MORSEL_RETRIES,
+        morsel_timeout: Optional[float] = None,
+        fault_plan: Union[None, str, FaultPlan] = None,
     ) -> None:
         if num_workers < 1:
             raise ExecutionError(f"num_workers must be >= 1, got {num_workers}")
@@ -361,6 +456,15 @@ class MorselExecutor(PlanRunner):
                 f"unknown morsel weighting {weighting!r}; "
                 f"available: {sorted(WEIGHTINGS)}"
             )
+        if max_retries < 0:
+            raise ExecutionError(f"max_retries must be >= 0, got {max_retries}")
+        if morsel_timeout is not None and morsel_timeout < 0:
+            raise ExecutionError(
+                f"morsel_timeout must be >= 0 seconds (0 disables), "
+                f"got {morsel_timeout}"
+            )
+        if isinstance(fault_plan, str):
+            fault_plan = FaultPlan.parse(fault_plan)
         self.graph = graph
         self.batch_size = batch_size
         self.num_workers = int(num_workers)
@@ -368,6 +472,15 @@ class MorselExecutor(PlanRunner):
         self.coalesce = int(coalesce)
         self.backend = backend
         self.weighting = weighting
+        self.max_retries = int(max_retries)
+        self.morsel_timeout = morsel_timeout
+        self.fault_plan = fault_plan
+
+    def _resolve_faults(self) -> Optional[FaultPlan]:
+        """The active fault plan: the instance's, else the environment's."""
+        if self.fault_plan is not None:
+            return self.fault_plan
+        return FaultPlan.parse(os.environ.get(FAULTS_ENV_VAR))
 
     # ------------------------------------------------------------------
     # morsel partitioning
@@ -439,7 +552,10 @@ class MorselExecutor(PlanRunner):
     # execution
     # ------------------------------------------------------------------
     def execute(
-        self, plan: QueryPlan, stats: Optional[ExecutionStats] = None
+        self,
+        plan: QueryPlan,
+        stats: Optional[ExecutionStats] = None,
+        runtime: Optional[QueryContext] = None,
     ) -> Iterator[MatchBatch]:
         """Yield match batches in deterministic morsel order.
 
@@ -452,11 +568,14 @@ class MorselExecutor(PlanRunner):
         peak memory stays proportional to the window, not to the whole
         query result.
         """
-        for batch in self._dispatch(plan, stats, factorized=False):
+        for batch in self._dispatch(plan, stats, factorized=False, runtime=runtime):
             yield from batch.split(self.batch_size)
 
     def execute_factorized(
-        self, plan: QueryPlan, stats: Optional[ExecutionStats] = None
+        self,
+        plan: QueryPlan,
+        stats: Optional[ExecutionStats] = None,
+        runtime: Optional[QueryContext] = None,
     ) -> Iterator[FactorizedBatch]:
         """Yield factorized batches in deterministic morsel order.
 
@@ -468,35 +587,96 @@ class MorselExecutor(PlanRunner):
         the only consumers are aggregate sinks that reduce them
         immediately).
         """
-        yield from self._dispatch(plan, stats, factorized=True)
+        yield from self._dispatch(plan, stats, factorized=True, runtime=runtime)
 
     def _dispatch(
         self,
         plan: QueryPlan,
         stats: Optional[ExecutionStats],
         factorized: bool,
+        runtime: Optional[QueryContext] = None,
     ) -> Iterator[object]:
-        """Windowed morsel dispatch shared by the flat and factorized paths."""
+        """Windowed morsel dispatch shared by the flat and factorized paths.
+
+        This is also the *reaction* half of crash recovery (backends are the
+        detection half): a morsel whose ``result()`` raises the recoverable
+        :class:`~repro.errors.WorkerCrashError` is re-submitted to the
+        backend up to ``max_retries`` times — the retry entry goes to the
+        *front* of the window, so the ascending merge order (and thus
+        byte-identical output) is preserved — and, when retries are
+        exhausted, the range is re-executed serially in-process with fault
+        injection disabled.  Failed attempts' partial stats are discarded,
+        so the merged counters are identical to a fault-free run (plus the
+        ``retries``/``morsels_recovered`` bookkeeping).
+
+        A deadline/cancellation violation — raised here between morsels, by
+        a backend's polled wait, or by a cooperative in-process morsel body
+        — gets the merged partial stats attached and requests abort on the
+        runtime's token, so in-flight cooperative morsels stop at their next
+        batch boundary instead of running to completion inside ``close()``.
+        """
         merged = stats if stats is not None else ExecutionStats()
         all_ranges = self.morsel_ranges(plan)
         if not all_ranges:
             return
-        ranges = iter(all_ranges)
+        ranges = iter(enumerate(all_ranges))
         window = self.num_workers * MORSEL_WINDOW_PER_WORKER
+        faults = self._resolve_faults()
         backend = resolve_backend(self.backend)
-        backend.open(self, plan, factorized=factorized)
+        backend.open(self, plan, factorized=factorized, runtime=runtime, faults=faults)
         try:
+            # Window entries: (handle, index, lo, hi, attempt).
             pending = deque()
-            for lo, hi in ranges:
-                pending.append(backend.submit(lo, hi))
+            for index, (lo, hi) in ranges:
+                handle = backend.submit(lo, hi, index=index, attempt=0)
+                pending.append((handle, index, lo, hi, 0))
                 if len(pending) >= window:
                     break
             while pending:
-                batches, morsel_stats = backend.result(pending.popleft())
+                handle, index, lo, hi, attempt = pending.popleft()
+                recovered = attempt > 0
+                try:
+                    batches, morsel_stats = backend.result(handle)
+                except WorkerCrashError:
+                    merged.retries += 1
+                    if runtime is not None:
+                        runtime.check(merged)
+                    if attempt < self.max_retries:
+                        retry = attempt + 1
+                        handle = backend.submit(lo, hi, index=index, attempt=retry)
+                        pending.appendleft((handle, index, lo, hi, retry))
+                        continue
+                    # Retries exhausted: recover the range in-process,
+                    # serially, with injection disabled — the deterministic
+                    # last resort that cannot lose to another worker fault.
+                    batches, morsel_stats = run_morsel(
+                        plan,
+                        self.graph,
+                        self.batch_size * self.coalesce,
+                        lo,
+                        hi,
+                        factorized=factorized,
+                        runtime=runtime,
+                    )
+                    recovered = True
+                if recovered:
+                    merged.morsels_recovered += 1
                 refill = next(ranges, None)
                 if refill is not None:
-                    pending.append(backend.submit(*refill))
+                    rindex, (rlo, rhi) = refill
+                    rhandle = backend.submit(rlo, rhi, index=rindex, attempt=0)
+                    pending.append((rhandle, rindex, rlo, rhi, 0))
                 merged.add(morsel_stats)
+                if runtime is not None:
+                    runtime.check(merged)
                 yield from batches
+        except (QueryTimeoutError, QueryCancelledError) as exc:
+            # Whatever check point raised (a morsel-local context, a
+            # backend's polled wait), the caller should see the merged
+            # partial stats of the work already consumed.
+            exc.stats = merged
+            if runtime is not None:
+                runtime.request_abort()
+            raise
         finally:
             backend.close()

@@ -1,0 +1,178 @@
+"""Deterministic fault injection for the morsel runtime (chaos testing).
+
+A :class:`FaultPlan` describes *which* morsel fails and *how*, keyed on the
+morsel's deterministic submission index (morsel ranges are a pure function
+of the plan and the executor configuration, so "kill the worker running
+morsel 2" means the same vertex range on every run).  The chaos suite
+(``tests/test_fault_injection.py``) uses it to prove the determinism
+contract holds *under faults*: results after an injected worker kill, reply
+corruption, or delay are byte-identical to the fault-free serial oracle.
+
+Fault kinds:
+
+* ``kill``    — the worker dies while holding the morsel.  In-process
+  backends raise :class:`InjectedWorkerCrash`; the process backend worker
+  calls ``os._exit`` so the parent sees a *real* dead child (the lost-task
+  path, not a pickled exception).
+* ``delay``   — the morsel body sleeps before running, modelling a stuck
+  worker; used to drive a morsel past its deadline or reply timeout.
+* ``corrupt`` — the reply envelope is corrupted after its checksum was
+  computed (process backend: a flipped payload byte; in-process backends:
+  :class:`InjectedReplyCorruption`, since their replies never cross a
+  transport that could corrupt them).
+* ``error``   — the morsel body raises a plain ``RuntimeError``, modelling
+  a worker-side *bug* rather than a worker *failure*.  Deliberately
+  **not** recoverable: retrying a deterministic bug cannot succeed and
+  would only mask it, so it propagates (and the pool must still be torn
+  down — the leak regression test rides on this fault).
+
+Every fault fires on the morsel's first attempt only, so a retried morsel
+succeeds — unless the directive carries the ``!`` suffix (``kill@2!``),
+which makes it fire on every attempt and forces the dispatcher all the way
+to its in-process serial fallback.
+
+``REPRO_FAULTS`` environment format: comma-separated directives —
+``kill@2``, ``delay@0:0.5`` (seconds after the colon), ``corrupt@1``,
+``error@3``, each optionally suffixed with ``!``.  The plan ships to
+process-pool workers inside the worker payload, so child processes never
+read the environment and the injection is identical under every start
+method.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ExecutionError
+
+#: Environment variable holding a fault-plan spec for chaos runs.
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+#: Exit code of a process-pool worker killed by an injected fault
+#: (distinguishable from a real crash in the worker logs).
+FAULT_KILL_EXIT_CODE = 86
+
+
+class InjectedWorkerCrash(Exception):
+    """Raised by an in-process morsel body standing in for a worker death.
+
+    Deliberately NOT a :class:`~repro.errors.ReproError`: it is a test
+    harness signal the backends convert into the recoverable
+    :class:`~repro.errors.WorkerCrashError`, never a library error a caller
+    should see.
+    """
+
+
+class InjectedReplyCorruption(Exception):
+    """Raised by an in-process morsel body standing in for a corrupt reply."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic morsel-indexed faults; picklable so it ships to workers.
+
+    Each ``*_morsel`` field is the submission index the fault targets
+    (``None`` disables that fault); the matching ``*_every_attempt`` flag
+    widens it from first-attempt-only to every retry.
+    """
+
+    kill_morsel: Optional[int] = None
+    kill_every_attempt: bool = False
+    delay_morsel: Optional[int] = None
+    delay_seconds: float = 0.0
+    delay_every_attempt: bool = False
+    corrupt_morsel: Optional[int] = None
+    corrupt_every_attempt: bool = False
+    error_morsel: Optional[int] = None
+    error_every_attempt: bool = False
+
+    # ------------------------------------------------------------------
+    # trigger predicates
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fires(target: Optional[int], every: bool, index: int, attempt: int) -> bool:
+        return target is not None and index == target and (every or attempt == 0)
+
+    def kills(self, index: int, attempt: int) -> bool:
+        return self._fires(self.kill_morsel, self.kill_every_attempt, index, attempt)
+
+    def delays(self, index: int, attempt: int) -> bool:
+        return self._fires(self.delay_morsel, self.delay_every_attempt, index, attempt)
+
+    def corrupts(self, index: int, attempt: int) -> bool:
+        return self._fires(
+            self.corrupt_morsel, self.corrupt_every_attempt, index, attempt
+        )
+
+    def errors(self, index: int, attempt: int) -> bool:
+        return self._fires(self.error_morsel, self.error_every_attempt, index, attempt)
+
+    # ------------------------------------------------------------------
+    # in-process application (kill/delay/error before the morsel body)
+    # ------------------------------------------------------------------
+    def apply_before_morsel(self, index: int, attempt: int) -> None:
+        """Fire pre-body faults the way an in-process worker experiences them."""
+        if self.kills(index, attempt):
+            raise InjectedWorkerCrash(
+                f"injected worker crash on morsel {index} (attempt {attempt})"
+            )
+        if self.errors(index, attempt):
+            raise RuntimeError(
+                f"injected worker error on morsel {index} (attempt {attempt})"
+            )
+        if self.delays(index, attempt):
+            time.sleep(self.delay_seconds)
+
+    # ------------------------------------------------------------------
+    # parsing
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: Optional[str]) -> Optional["FaultPlan"]:
+        """A :class:`FaultPlan` from a ``REPRO_FAULTS``-style spec string.
+
+        Returns None for an empty/absent spec; raises
+        :class:`~repro.errors.ExecutionError` on a malformed one (a typo'd
+        chaos run must fail loudly, not silently run fault-free).
+        """
+        if spec is None or not spec.strip():
+            return None
+        fields: dict = {}
+        for raw in spec.split(","):
+            directive = raw.strip()
+            if not directive:
+                continue
+            every = directive.endswith("!")
+            if every:
+                directive = directive[:-1]
+            try:
+                kind, _, target = directive.partition("@")
+                kind = kind.strip().lower()
+                if kind == "delay":
+                    index_text, _, seconds_text = target.partition(":")
+                    index = int(index_text)
+                    seconds = float(seconds_text)
+                    if seconds < 0:
+                        raise ValueError("negative delay")
+                    fields.update(
+                        delay_morsel=index,
+                        delay_seconds=seconds,
+                        delay_every_attempt=every,
+                    )
+                elif kind in ("kill", "corrupt", "error"):
+                    index = int(target)
+                    fields[f"{kind}_morsel"] = index
+                    fields[f"{kind}_every_attempt"] = every
+                else:
+                    raise ValueError(f"unknown fault kind {kind!r}")
+                if index < 0:
+                    raise ValueError("negative morsel index")
+            except ValueError as exc:
+                raise ExecutionError(
+                    f"malformed fault directive {raw.strip()!r} in "
+                    f"${FAULTS_ENV_VAR} spec {spec!r}: expected "
+                    "kill@K | delay@K:SECONDS | corrupt@K | error@K "
+                    "(optionally suffixed with '!' to fire on every attempt)"
+                ) from exc
+        return cls(**fields) if fields else None

@@ -92,6 +92,18 @@ class ExecutionStats:
     worker counts; ``segments_emitted`` advances once per (batch, suffix
     operator) pair, so it scales with how the prefix stream is batched —
     compare it only within one execution configuration.
+
+    The fault-recovery counters advance only when the morsel runtime loses
+    a worker: ``retries`` counts morsel failures the dispatcher handled
+    (each failed attempt, whether the fix was a resubmission or the serial
+    fallback) and ``morsels_recovered`` counts morsels whose merged result
+    came from a recovery path rather than the first attempt.  Both stay 0
+    on fault-free runs, so the cross-backend byte-identity contract on the
+    work counters is untouched.  ``deadline_remaining`` is not a counter:
+    the runner sets it once, after the query completes, to the wall-clock
+    seconds left of a ``timeout=`` budget (``None`` when no deadline was
+    requested; ``0.0`` on the partial stats attached to a
+    :class:`~repro.errors.QueryTimeoutError`).
     """
 
     lists_accessed: int = 0
@@ -101,6 +113,9 @@ class ExecutionStats:
     predicate_evaluations: int = 0
     combos_avoided: int = 0
     segments_emitted: int = 0
+    retries: int = 0
+    morsels_recovered: int = 0
+    deadline_remaining: Optional[float] = None
 
     def reset(self) -> None:
         self.lists_accessed = 0
@@ -110,13 +125,17 @@ class ExecutionStats:
         self.predicate_evaluations = 0
         self.combos_avoided = 0
         self.segments_emitted = 0
+        self.retries = 0
+        self.morsels_recovered = 0
+        self.deadline_remaining = None
 
     def add(self, other: "ExecutionStats") -> None:
         """Accumulate another stats object (morsel-wise merge).
 
         Every counter is per-row accounting, so summing the per-morsel
         counters of a partitioned execution reproduces the serial totals
-        exactly.
+        exactly.  ``deadline_remaining`` is a query-level value set by the
+        runner, not a morsel-wise sum, so it is left untouched.
         """
         self.lists_accessed += other.lists_accessed
         self.list_entries_fetched += other.list_entries_fetched
@@ -125,19 +144,35 @@ class ExecutionStats:
         self.predicate_evaluations += other.predicate_evaluations
         self.combos_avoided += other.combos_avoided
         self.segments_emitted += other.segments_emitted
+        self.retries += other.retries
+        self.morsels_recovered += other.morsels_recovered
 
 
 @dataclass
 class ExecutionContext:
-    """Shared state available to every operator during execution."""
+    """Shared state available to every operator during execution.
+
+    ``runtime`` is the per-query guardrail state
+    (:class:`~repro.query.runtime.QueryContext`) or ``None`` for an
+    unguarded query; the pipeline driver calls :meth:`check_runtime`
+    between batches.  Process-pool morsel bodies always see ``None`` — the
+    parent enforces their deadline from outside (see
+    :mod:`repro.query.runtime`).
+    """
 
     graph: PropertyGraph
     query: QueryGraph
     batch_size: int = DEFAULT_BATCH_SIZE
     stats: ExecutionStats = field(default_factory=ExecutionStats)
+    runtime: Optional[object] = None
 
     def variable_kind(self, name: str) -> str:
         return self.query.variable_kind(name)
+
+    def check_runtime(self) -> None:
+        """Raise timeout/cancellation if the query must stop; cheap no-op otherwise."""
+        if self.runtime is not None:
+            self.runtime.check(self.stats)
 
 
 # ----------------------------------------------------------------------

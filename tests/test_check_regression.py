@@ -149,6 +149,23 @@ class TestRunCheckGate:
         )
         assert not report["ok"]
 
+    def test_no_floor_scenario_never_fails_on_ratio(self, tmp_path):
+        # Advisory scenarios (e.g. fault_recovery, whose ratio measures
+        # recovery *overhead*) are tracked but have no floor: any speedup
+        # passes and the note lands in skipped.
+        baseline = _baseline(tmp_path, {"fault": {"no_floor": True}})
+        report = run_check(baseline, results=_results(fault=0.3), env={})
+        assert report["ok"], report["failures"]
+        assert report["skipped"] and "no_floor" in report["skipped"][0]
+
+    def test_no_floor_scenario_must_still_produce_a_row(self, tmp_path):
+        # no_floor waives the ratio, not the scenario's existence: silently
+        # dropping it from the benchmark still fails the gate.
+        baseline = _baseline(tmp_path, {"fault": {"no_floor": True}})
+        report = run_check(baseline, results={"scenarios": {}}, env={})
+        assert not report["ok"]
+        assert "missing from benchmark results" in report["failures"][0]
+
     def test_advisory_on_ci_downgrades_to_warning(self, tmp_path):
         spec = {"par": {"min_speedup": 2.0, "advisory_on_ci": True}}
         results = _results(par={"speedup": 0.9, "available_cpus": 8})

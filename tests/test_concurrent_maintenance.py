@@ -197,6 +197,57 @@ def test_prebuilt_plan_executes_against_its_pinned_generation():
     assert db.count(edge_count) == NUM_EDGES + BATCH
 
 
+def test_flush_races_pinned_process_query_under_worker_death(monkeypatch):
+    """The hardest combined race: a process-backend query pinned to the
+    pre-flush generation loses a worker to an injected kill *while* the main
+    thread inserts and flushes a new generation.  Recovery must re-execute
+    the lost morsel against the *pinned* generation (workers rehydrated from
+    the pinned payload; the serial fallback reads the plan's own snapshot
+    graph), so the query still answers exactly the pre-flush count even
+    though the store has moved on underneath it."""
+    from repro.query.backends import fork_available
+
+    if not fork_available():
+        pytest.skip("process-backend chaos needs cheap fork pools")
+
+    monkeypatch.setenv("REPRO_FAULTS", "kill@0")
+    monkeypatch.setenv("REPRO_MORSEL_TIMEOUT", "15")
+
+    db = _build_db()
+    edge_count, _ = _queries()
+    plan = db.plan(edge_count)
+
+    results = []
+    errors = []
+
+    def query_worker() -> None:
+        try:
+            results.append(db.run(plan, parallelism=2, backend="process"))
+        except Exception as exc:  # noqa: BLE001 - surface to the main thread
+            errors.append(exc)
+
+    thread = threading.Thread(target=query_worker)
+    thread.start()
+    try:
+        # Race the flush against the in-flight crashing query.
+        maintainer = db.maintainer(merge_threshold=10**12)
+        src, dst, props = _delta_batches()[0]
+        maintainer.insert_edges(src, dst, "Wire", properties=props)
+        maintainer.flush()
+    finally:
+        thread.join()
+
+    assert not errors, f"query thread raised: {errors[0]!r}"
+    result = results[0]
+    # Pinned generation: the pre-flush edge count, not the merged one.
+    assert result.count == NUM_EDGES
+    # The injected kill really happened and was really recovered.
+    assert result.stats.retries >= 1
+    assert result.stats.morsels_recovered >= 1
+    # The store itself has moved on.
+    assert db.graph.num_edges == NUM_EDGES + BATCH
+
+
 def test_flush_swap_is_one_complete_generation():
     """Every generation's indexes cover exactly its graph's edge set."""
     db = _build_db()

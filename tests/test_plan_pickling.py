@@ -28,6 +28,7 @@ from repro.query.backends import (
     _process_worker_run,
     decode_batches,
     encode_batches,
+    reply_checksum,
     run_morsel,
 )
 from repro.query.executor import Executor
@@ -87,13 +88,14 @@ class TestWorkerPayloadRoundTrip:
         spec = MorselTaskSpec(
             plan_id=5, generation=plan.pinned_generation, start=10, stop=55
         )
-        encoded, stats_tuple = _process_worker_run(spec)
+        encoded, stats_tuple, checksum = _process_worker_run(spec)
         batches = decode_batches(encoded)
 
         expected_batches, expected_stats = run_morsel(
             plan, zipf_db.graph, 64, 10, 55
         )
         assert dataclasses.astuple(expected_stats) == stats_tuple
+        assert reply_checksum(encoded, stats_tuple) == checksum
         got = [row for batch in batches for row in batch.to_dicts()]
         want = [row for batch in expected_batches for row in batch.to_dicts()]
         assert got == want
