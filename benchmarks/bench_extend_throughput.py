@@ -65,6 +65,16 @@ plus the parallel-execution counterpart:
   threads.  The speedup is even/degree-weighted wall-clock — the load-
   balancing win, not a parallelization win.
 
+plus the service-shape counterpart:
+
+* ``server_load``    — 8 closed-loop clients over a Zipf query mix against
+  the admission-controlled ``DatabaseServer`` (persistent pools, 2 slots,
+  policy ``block``) vs the same clients calling ``Database.count`` directly
+  with per-query executors and no admission bound; imported from
+  ``bench_server_load.py`` and marked ``no_floor`` in the baseline —
+  correctness (oracle counts, counter reconciliation, bounded concurrency
+  under a 4x-overload reject phase) is asserted inside the benchmark.
+
 The generated graphs have >= 100k edges at the default scale so the numbers
 are dominated by the steady-state loop, not setup.
 
@@ -91,6 +101,7 @@ import numpy as np
 sys.path.insert(0, os.path.dirname(__file__))
 
 from common import BENCH_SCALE, print_header  # noqa: E402
+from bench_server_load import server_load_scenario_row  # noqa: E402
 
 from repro import Database, EdgeAdjacencyType  # noqa: E402
 from repro.graph import Direction  # noqa: E402
@@ -944,6 +955,7 @@ def run_benchmarks() -> Dict:
     report["scenarios"]["skewed_scan"] = _skewed_scan_scenario_row(
         hub_graph, hub_store
     )
+    report["scenarios"]["server_load"] = server_load_scenario_row()
     return report
 
 

@@ -1,0 +1,436 @@
+"""Closed-loop concurrent-client load benchmark for the query server.
+
+``CLIENT_THREADS`` clients hammer one :class:`repro.server.DatabaseServer`
+with a Zipf-weighted mix of pre-planned queries (a hot 1-hop count, a
+mid-weight 2-hop path and a rare triangle), each client running a closed
+loop: submit, wait for the result, verify it against the serial oracle,
+submit the next.  Two sides are measured over the *same* deterministic pick
+sequence:
+
+* ``rowwise_*``   — the seed's service shape: every client calls
+  ``Database.count`` directly, so each query plans its own executor and
+  (above one worker) its own short-lived pool, and nothing bounds how many
+  run at once (``CLIENT_THREADS × PARALLELISM`` worker threads in flight),
+* ``vectorized_*`` — the server: ``SERVER_SLOTS`` admission slots feeding
+  persistent pools leased from the supervisor, policy ``block`` so every
+  query is eventually admitted (the measured phase sheds nothing).
+
+``speedup`` is direct/server wall clock.  The baseline marks the scenario
+``no_floor``: the ratio mixes pool amortization (a win) with admission
+queueing (a deliberate cost) and is advisory — correctness is what the
+benchmark enforces.  Every result, on both sides, must equal the serial
+oracle's count, and the server's counters must reconcile
+(``submitted == admitted + rejected + shed``; the measured phase must shed
+nothing under ``block``).
+
+A separate *overload* phase then offers ``OVERLOAD_MULTIPLIER ×`` the
+server's total capacity (slots + queue depth) through the ``reject``
+policy and asserts the contract under saturation: excess queries are
+rejected with the typed :class:`~repro.errors.ServerOverloadedError`, a
+sampler thread never observes more than ``max_concurrent`` queries
+running, every admitted query still returns the oracle count, and the
+counters reconcile after drain.
+
+Reported per side: wall seconds, sustained QPS, p50/p99 latency; plus the
+overload phase's offered/admitted/rejected split and the supervisor's
+pool-reuse counters.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_server_load.py [--output PATH]
+
+Writes ``BENCH_server_load.json`` to the repository root by default.  The
+same row rides along in ``bench_extend_throughput.py``'s report as the
+``server_load`` scenario, so ``benchmarks/check_regression.py`` tracks it
+(the row must exist) without applying a ratio floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from common import BENCH_SCALE, print_header  # noqa: E402
+
+from repro import Database  # noqa: E402
+from repro.errors import ServerOverloadedError  # noqa: E402
+from repro.graph.generators import (  # noqa: E402
+    SocialGraphSpec,
+    generate_social_graph,
+)
+from repro.query.pattern import QueryGraph  # noqa: E402
+from repro.server import DatabaseServer, ServerConfig  # noqa: E402
+
+#: Graph size at scale 1.0 — small enough that per-query work is dominated
+#: by the service path under test (admission, leasing, dispatch), not the
+#: scan itself.
+NUM_VERTICES = int(4_000 * BENCH_SCALE)
+NUM_EDGES = int(16_000 * BENCH_SCALE)
+
+#: Closed-loop clients hammering the server concurrently.
+CLIENT_THREADS = 8
+#: Queries each client issues in the measured phase.
+QUERIES_PER_CLIENT = max(int(12 * BENCH_SCALE), 4)
+#: Admission slots (concurrent queries) of the measured server.
+SERVER_SLOTS = 2
+#: Morsel workers per admitted query.
+PARALLELISM = 2
+#: Persistent-pool backend of the measured server.
+SERVER_BACKEND = "thread"
+#: Zipf exponent of the query mix (rank-1 query dominates).
+ZIPF_EXPONENT = 1.2
+#: Offered load of the overload phase, as a multiple of the server's total
+#: capacity (slots + queue depth) — the acceptance criterion's 4×.
+OVERLOAD_MULTIPLIER = 4
+#: Seed for the deterministic per-client pick sequences.
+SEED = 0x5EED
+
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_server_load.json",
+)
+
+
+def _build_db() -> Database:
+    graph = generate_social_graph(
+        SocialGraphSpec(
+            num_vertices=NUM_VERTICES,
+            num_edges=NUM_EDGES,
+            skew=0.6,
+            time_range=1_000_000,
+            seed=13,
+        )
+    )
+    return Database(graph)
+
+
+def _one_hop() -> QueryGraph:
+    q = QueryGraph("hot-one-hop")
+    q.add_vertex("a", label="User")
+    q.add_vertex("b", label="User")
+    q.add_edge("a", "b", label="Follows", name="e1")
+    return q
+
+
+def _two_hop() -> QueryGraph:
+    q = QueryGraph("mid-two-hop")
+    q.add_vertex("a", label="User")
+    q.add_vertex("b", label="User")
+    q.add_vertex("c", label="User")
+    q.add_edge("a", "b", label="Follows", name="e1")
+    q.add_edge("b", "c", label="Follows", name="e2")
+    return q
+
+
+def _triangle() -> QueryGraph:
+    q = QueryGraph("rare-triangle")
+    q.add_vertex("a", label="User")
+    q.add_vertex("b", label="User")
+    q.add_vertex("c", label="User")
+    q.add_edge("a", "b", label="Follows", name="e1")
+    q.add_edge("b", "c", label="Follows", name="e2")
+    q.add_edge("a", "c", label="Follows", name="e3")
+    return q
+
+
+def _zipf_weights(ranks: int, exponent: float) -> np.ndarray:
+    weights = 1.0 / np.arange(1, ranks + 1, dtype=np.float64) ** exponent
+    return weights / weights.sum()
+
+
+def _pick_sequences(ranks: int) -> List[np.ndarray]:
+    """One deterministic Zipf pick sequence per client (same on both sides)."""
+    weights = _zipf_weights(ranks, ZIPF_EXPONENT)
+    return [
+        np.random.RandomState(SEED + client).choice(
+            ranks, size=QUERIES_PER_CLIENT, p=weights
+        )
+        for client in range(CLIENT_THREADS)
+    ]
+
+
+def _closed_loop(run_one, picks: Sequence[np.ndarray]):
+    """Run every client's pick sequence concurrently; return (seconds, lat).
+
+    ``run_one(rank)`` executes one query and returns its count; latencies
+    are per-query wall seconds across all clients.
+    """
+    latencies: List[float] = []
+    errors: List[BaseException] = []
+    lock = threading.Lock()
+    start = threading.Barrier(len(picks) + 1)
+
+    def client(sequence: np.ndarray) -> None:
+        mine: List[float] = []
+        try:
+            start.wait()
+            for rank in sequence:
+                begun = time.perf_counter()
+                run_one(int(rank))
+                mine.append(time.perf_counter() - begun)
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            with lock:
+                errors.append(exc)
+            return
+        with lock:
+            latencies.extend(mine)
+
+    threads = [
+        threading.Thread(target=client, args=(sequence,), daemon=True)
+        for sequence in picks
+    ]
+    for thread in threads:
+        thread.start()
+    start.wait()
+    begun = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - begun
+    if errors:
+        raise RuntimeError(f"server_load: client failed: {errors[0]!r}") from errors[0]
+    return elapsed, latencies
+
+
+def _percentiles_ms(latencies: Sequence[float]) -> Dict[str, float]:
+    arr = np.asarray(latencies, dtype=np.float64) * 1000.0
+    return {
+        "p50_ms": float(np.percentile(arr, 50)),
+        "p99_ms": float(np.percentile(arr, 99)),
+    }
+
+
+def _overload_phase(db: Database, plan, oracle: int) -> Dict:
+    """Offer 4× the server's capacity under ``reject``; assert the contract."""
+    config = ServerConfig(
+        max_concurrent=1,
+        max_queue_depth=2,
+        policy="reject",
+        parallelism=PARALLELISM,
+        backend=SERVER_BACKEND,
+    )
+    offered = OVERLOAD_MULTIPLIER * (config.max_concurrent + config.max_queue_depth)
+    completed = rejected = 0
+    wrong: List[str] = []
+    max_running = [0]
+    lock = threading.Lock()
+    server = DatabaseServer(db, config)
+    stop_sampling = threading.Event()
+
+    def sampler() -> None:
+        while not stop_sampling.is_set():
+            observed = server.running()
+            with lock:
+                max_running[0] = max(max_running[0], observed)
+            time.sleep(0.001)
+
+    watcher = threading.Thread(target=sampler, daemon=True)
+    watcher.start()
+    try:
+        start = threading.Barrier(offered)
+
+        def client() -> None:
+            nonlocal completed, rejected
+            start.wait()
+            try:
+                count = server.count(plan)
+            except ServerOverloadedError as exc:
+                assert exc.policy == "reject"
+                with lock:
+                    rejected += 1
+                return
+            if count != oracle:
+                with lock:
+                    wrong.append(f"{count} != {oracle}")
+                return
+            with lock:
+                completed += 1
+
+        threads = [
+            threading.Thread(target=client, daemon=True) for _ in range(offered)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        server.drain()
+        stop_sampling.set()
+        watcher.join()
+    stats = server.stats.snapshot()
+    if wrong:
+        raise RuntimeError(
+            f"server_load: admitted query diverged from the oracle under "
+            f"overload: {wrong[0]}"
+        )
+    if stats["submitted"] != stats["admitted"] + stats["rejected"] + stats["shed"]:
+        raise RuntimeError(f"server_load: overload counters do not reconcile: {stats}")
+    if stats["submitted"] != offered:
+        raise RuntimeError(
+            f"server_load: offered {offered} but server saw {stats['submitted']}"
+        )
+    if rejected == 0:
+        raise RuntimeError(
+            "server_load: 4x overload produced zero rejections — the "
+            "admission queue is not bounding anything"
+        )
+    if max_running[0] > config.max_concurrent:
+        raise RuntimeError(
+            f"server_load: observed {max_running[0]} concurrent queries "
+            f"with max_concurrent={config.max_concurrent}"
+        )
+    return {
+        "offered": offered,
+        "completed": completed,
+        "rejected_observed": rejected,
+        "max_observed_running": max_running[0],
+        "stats": stats,
+    }
+
+
+def server_load_scenario_row() -> Dict:
+    """The ``server_load`` scenario row (shared key layout + extras)."""
+    db = _build_db()
+    queries = [_one_hop(), _two_hop(), _triangle()]
+    # Pre-built plans: the persistent process/thread pools key payload reuse
+    # on plan identity, and re-planning per submission is not what a serving
+    # client does.
+    plans = [db.plan(q) for q in queries]
+    oracles = [db.count(plan, parallelism=1) for plan in plans]
+    picks = _pick_sequences(len(plans))
+    total_queries = sum(len(sequence) for sequence in picks)
+    total_edges = sum(
+        oracles[int(rank)] for sequence in picks for rank in sequence
+    )
+
+    def run_direct(rank: int) -> None:
+        count = db.count(plans[rank], parallelism=PARALLELISM, backend=SERVER_BACKEND)
+        if count != oracles[rank]:
+            raise RuntimeError(
+                f"server_load: direct count diverged ({count} != {oracles[rank]})"
+            )
+
+    direct_seconds, direct_latencies = _closed_loop(run_direct, picks)
+
+    server = DatabaseServer(
+        db,
+        ServerConfig(
+            max_concurrent=SERVER_SLOTS,
+            max_queue_depth=CLIENT_THREADS,
+            policy="block",
+            parallelism=PARALLELISM,
+            backend=SERVER_BACKEND,
+        ),
+    )
+    try:
+
+        def run_served(rank: int) -> None:
+            count = server.count(plans[rank])
+            if count != oracles[rank]:
+                raise RuntimeError(
+                    f"server_load: served count diverged "
+                    f"({count} != {oracles[rank]})"
+                )
+
+        server_seconds, server_latencies = _closed_loop(run_served, picks)
+    finally:
+        server.drain()
+    stats = server.stats.snapshot()
+    if stats["submitted"] != stats["admitted"] + stats["rejected"] + stats["shed"]:
+        raise RuntimeError(f"server_load: counters do not reconcile: {stats}")
+    if stats["completed"] != total_queries or stats["shed"] or stats["rejected"]:
+        raise RuntimeError(
+            f"server_load: the block-policy measured phase must complete "
+            f"every query ({total_queries} offered): {stats}"
+        )
+    supervisor = server.supervisor
+    row = {
+        "extended_edges": int(total_edges),
+        "rowwise_seconds": direct_seconds,
+        "vectorized_seconds": server_seconds,
+        "rowwise_eps": total_edges / direct_seconds if direct_seconds else 0.0,
+        "vectorized_eps": total_edges / server_seconds if server_seconds else 0.0,
+        "speedup": (
+            direct_seconds / server_seconds if server_seconds else float("inf")
+        ),
+        "queries": total_queries,
+        "clients": CLIENT_THREADS,
+        "queries_per_client": QUERIES_PER_CLIENT,
+        "server_slots": SERVER_SLOTS,
+        "parallelism": PARALLELISM,
+        "backend": SERVER_BACKEND,
+        "zipf_exponent": ZIPF_EXPONENT,
+        "direct_qps": total_queries / direct_seconds if direct_seconds else 0.0,
+        "server_qps": total_queries / server_seconds if server_seconds else 0.0,
+        "server_counters": stats,
+        "pools_created": supervisor.pools_created,
+        "pools_reused": supervisor.pools_reused,
+        "pools_recycled": supervisor.pools_recycled,
+        "degraded_leases": supervisor.degraded_leases,
+    }
+    for key, value in _percentiles_ms(server_latencies).items():
+        row[key] = value
+    for key, value in _percentiles_ms(direct_latencies).items():
+        row[f"direct_{key}"] = value
+    row["overload"] = _overload_phase(db, plans[0], oracles[0])
+    return row
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=DEFAULT_OUTPUT,
+        help="path of the JSON results file (default: repo root)",
+    )
+    args = parser.parse_args()
+
+    print_header(
+        f"Server load: {CLIENT_THREADS} closed-loop clients vs "
+        f"{SERVER_SLOTS}-slot admission ({NUM_EDGES:,} edges)"
+    )
+    row = server_load_scenario_row()
+    print(
+        f"queries={row['queries']}  direct {row['direct_qps']:.1f} qps "
+        f"(p50 {row['direct_p50_ms']:.1f}ms / p99 {row['direct_p99_ms']:.1f}ms)  "
+        f"server {row['server_qps']:.1f} qps "
+        f"(p50 {row['p50_ms']:.1f}ms / p99 {row['p99_ms']:.1f}ms)"
+    )
+    overload = row["overload"]
+    print(
+        f"overload: offered={overload['offered']} "
+        f"completed={overload['completed']} "
+        f"rejected={overload['rejected_observed']} "
+        f"max_running={overload['max_observed_running']}"
+    )
+    report = {
+        "config": {
+            "num_vertices": NUM_VERTICES,
+            "num_edges": NUM_EDGES,
+            "bench_scale": BENCH_SCALE,
+            "clients": CLIENT_THREADS,
+            "queries_per_client": QUERIES_PER_CLIENT,
+            "server_slots": SERVER_SLOTS,
+            "parallelism": PARALLELISM,
+            "backend": SERVER_BACKEND,
+            "zipf_exponent": ZIPF_EXPONENT,
+            "overload_multiplier": OVERLOAD_MULTIPLIER,
+            "seed": SEED,
+        },
+        "scenarios": {"server_load": row},
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"\nresults written to {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -41,6 +41,9 @@ from .errors import (
     QueryTimeoutError,
     ReproError,
     SchemaError,
+    ServerClosedError,
+    ServerError,
+    ServerOverloadedError,
     WorkerCrashError,
 )
 from .graph import (
@@ -77,12 +80,14 @@ from .query import (
     const,
     prop,
 )
+from .server import DatabaseServer, ServerConfig, ServerTicket
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CancellationToken",
     "Database",
+    "DatabaseServer",
     "DDLParseError",
     "FaultPlan",
     "QueryCancelledError",
@@ -117,6 +122,11 @@ __all__ = [
     "QueryResult",
     "ReproError",
     "SchemaError",
+    "ServerClosedError",
+    "ServerConfig",
+    "ServerError",
+    "ServerOverloadedError",
+    "ServerTicket",
     "TwoHopView",
     "VertexPartitionedIndex",
     "cmp",

@@ -63,6 +63,11 @@ class QueryTimeoutError(ExecutionError):
     Carries the partial execution statistics accumulated up to the point the
     deadline fired (``stats``; counters only cover work whose results were
     already merged) and the requested ``timeout`` in seconds.
+
+    Picklable with its attachments: the default exception reduction only
+    replays ``args`` (here just the message), which would silently drop
+    ``stats``/``timeout`` the first time the error crosses a process or
+    server boundary — ``__reduce__`` replays the full constructor call.
     """
 
     def __init__(self, message: str, stats=None, timeout=None) -> None:
@@ -70,17 +75,24 @@ class QueryTimeoutError(ExecutionError):
         self.stats = stats
         self.timeout = timeout
 
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.stats, self.timeout))
+
 
 class QueryCancelledError(ExecutionError):
     """Raised when a query's cooperative cancellation token is triggered.
 
     Carries the partial execution statistics accumulated up to the point the
-    cancellation was observed (``stats``).
+    cancellation was observed (``stats``).  ``__reduce__`` keeps the stats
+    attached across pickling (see :class:`QueryTimeoutError`).
     """
 
     def __init__(self, message: str, stats=None) -> None:
         super().__init__(message)
         self.stats = stats
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.stats))
 
 
 class WorkerCrashError(ExecutionError):
@@ -99,3 +111,41 @@ class WorkerCrashError(ExecutionError):
 
 class MaintenanceError(ReproError):
     """Raised when an index update (insert/delete) cannot be applied."""
+
+
+class ServerError(ReproError):
+    """Base class for errors raised by the admission-controlled query server."""
+
+
+class ServerOverloadedError(ServerError):
+    """The server's bounded admission queue refused (or evicted) a query.
+
+    Raised from ``DatabaseServer.submit`` under the ``reject`` admission
+    policy when the queue is full, and attached to the evicted ticket under
+    ``shed-oldest``.  Carries enough context for a client to build a retry
+    policy: the ``policy`` in force, the observed ``queue_depth``, and the
+    configured ``max_queue_depth``.  Picklable with its attachments (the
+    default reduction would drop them at the server boundary).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        policy=None,
+        queue_depth=None,
+        max_queue_depth=None,
+    ) -> None:
+        super().__init__(message)
+        self.policy = policy
+        self.queue_depth = queue_depth
+        self.max_queue_depth = max_queue_depth
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.args[0], self.policy, self.queue_depth, self.max_queue_depth),
+        )
+
+
+class ServerClosedError(ServerError):
+    """A query was submitted to a server that is draining or shut down."""

@@ -546,24 +546,21 @@ def _process_worker_ready() -> bool:
     return _WORKER_PAYLOAD is not None
 
 
-def _process_worker_run(
-    spec: MorselTaskSpec,
+def _execute_payload_task(
+    payload: WorkerPayload, spec: MorselTaskSpec
 ) -> Tuple[List[object], Tuple, int]:
-    """Worker body: validate the spec, run the morsel, return columnar results.
+    """Validate a spec against a payload, run the morsel, encode the reply.
 
-    The reply is a checksummed envelope ``(encoded, stats_tuple, checksum)``.
+    The shared worker body of the per-query process backend (payload
+    rehydrated by the pool initializer) and the server's persistent process
+    backend (payloads cached per worker, shipped lazily): both produce the
+    same checksummed envelope ``(encoded, stats_tuple, checksum)``.
     Injected faults fire here the way real failures would: ``kill`` is a
     hard ``os._exit`` (the parent sees a dead child and a lost task, not a
     pickled exception), ``delay`` sleeps holding the morsel, ``error``
     raises through the pool's normal exception transport, and ``corrupt``
     damages the envelope *after* its checksum was computed.
     """
-    payload = _WORKER_PAYLOAD
-    if payload is None:
-        raise ExecutionError(
-            "process-pool worker has no rehydrated payload; the pool was "
-            "created without the backend's initializer"
-        )
     if spec.plan_id != payload.plan_id or spec.generation != payload.generation:
         raise ExecutionError(
             f"morsel task spec (plan {spec.plan_id}, generation "
@@ -600,6 +597,19 @@ def _process_worker_run(
     if faults is not None and faults.corrupts(spec.index, spec.attempt):
         checksum = _corrupt_reply(encoded, checksum)
     return encoded, stats_tuple, checksum
+
+
+def _process_worker_run(
+    spec: MorselTaskSpec,
+) -> Tuple[List[object], Tuple, int]:
+    """Worker body: run one morsel against the pool-initializer payload."""
+    payload = _WORKER_PAYLOAD
+    if payload is None:
+        raise ExecutionError(
+            "process-pool worker has no rehydrated payload; the pool was "
+            "created without the backend's initializer"
+        )
+    return _execute_payload_task(payload, spec)
 
 
 def preferred_start_method() -> str:
@@ -823,6 +833,14 @@ class ProcessBackend(MorselBackend):
 
     name = "process"
 
+    def __init__(self) -> None:
+        self._pool = None
+        # Serializes close() against concurrent callers: a pool supervisor
+        # tearing down an unhealthy backend can race a server drain (or a
+        # dispatcher's finally block), and exactly one of them must
+        # terminate/join the pool while the others see a no-op.
+        self._close_lock = threading.Lock()
+
     @staticmethod
     def _start_method() -> str:
         """Start method for this pool, adjusted for parent-side threads.
@@ -969,14 +987,19 @@ class ProcessBackend(MorselBackend):
             stop,
         )
 
-    def result(self, handle) -> Tuple[List[MatchBatch], ExecutionStats]:
-        async_result, index, start, stop = handle
+    def _await_reply(self, async_result, index: int, start: int, stop: int):
+        """Block (polled) for one morsel's reply envelope.
+
+        Raises :class:`~repro.errors.WorkerCrashError` when the reply is
+        lost to a worker death or the per-morsel timeout, re-raises worker
+        exceptions, and re-checks the runtime's deadline/cancellation every
+        poll interval.
+        """
         started = time.monotonic()
         death_seen_at: Optional[float] = None
         while True:
             try:
-                reply = async_result.get(timeout=_RESULT_POLL_SECONDS)
-                break
+                return async_result.get(timeout=_RESULT_POLL_SECONDS)
             except multiprocessing.TimeoutError:
                 pass
             now = time.monotonic()
@@ -1000,6 +1023,11 @@ class ProcessBackend(MorselBackend):
                     f"(${MORSEL_TIMEOUT_ENV_VAR} to adjust); treating the "
                     "worker as hung"
                 )
+
+    def _decode_reply(
+        self, reply, index: int, start: int, stop: int
+    ) -> Tuple[List[MatchBatch], ExecutionStats]:
+        """Integrity-check one reply envelope and decode its batches."""
         try:
             encoded, stats_tuple, checksum = reply
         except (TypeError, ValueError):
@@ -1015,16 +1043,27 @@ class ProcessBackend(MorselBackend):
         decode = decode_factorized_batches if self._factorized else decode_batches
         return decode(encoded), ExecutionStats(*stats_tuple)
 
+    def result(self, handle) -> Tuple[List[MatchBatch], ExecutionStats]:
+        async_result, index, start, stop = handle
+        reply = self._await_reply(async_result, index, start, stop)
+        return self._decode_reply(reply, index, start, stop)
+
     def close(self) -> None:
         # All retrieved results are already materialized in the parent, so
         # terminate (rather than drain) any submissions an abandoned
         # iteration left behind.  ``join`` runs in a ``finally`` so workers
         # are reaped even when ``terminate`` itself raises — a pool must
         # never outlive its query, least of all on the error path.
-        pool = getattr(self, "_pool", None)
+        #
+        # Concurrent-safe and idempotent: the pool is claimed atomically
+        # under ``_close_lock``, so when a supervisor teardown races a
+        # server drain (or a dispatcher's finally block) exactly one caller
+        # terminates/joins and the rest return immediately.
+        with self._close_lock:
+            pool = getattr(self, "_pool", None)
+            self._pool = None
         if pool is None:
             return
-        self._pool = None
         try:
             pool.terminate()
         finally:

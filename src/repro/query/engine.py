@@ -448,6 +448,25 @@ class Database:
         )
 
     # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def server(self, config=None):
+        """An admission-controlled :class:`~repro.server.DatabaseServer`.
+
+        The long-lived service shape of this database: persistent worker
+        pools shared across queries, a bounded admission queue with a
+        configurable overload policy, and graceful drain.  ``config`` is a
+        :class:`~repro.server.ServerConfig` (defaults apply when omitted).
+        Use as a context manager — exit drains::
+
+            with db.server() as server:
+                result = server.run(query, timeout=5.0)
+        """
+        from ..server import DatabaseServer
+
+        return DatabaseServer(self, config)
+
+    # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
     def memory_report(self) -> MemoryReport:
@@ -536,5 +555,36 @@ class Database:
             "corrupt@K | error@K,\n"
             "  '!' suffix = every attempt) injects deterministic faults "
             "for testing."
+        )
+        from ..server.admission import ServerConfig
+
+        defaults = ServerConfig()
+        lines.append(
+            "Server (admission-controlled service mode):\n"
+            "  db.server() wraps this database in a long-lived "
+            "DatabaseServer: persistent\n"
+            "  worker pools shared across queries (keyed on (backend, "
+            "parallelism); payloads\n"
+            "  re-shipped lazily per (plan id, store generation); crashed "
+            "pools recycled\n"
+            "  behind a circuit breaker that degrades to serial execution), "
+            "plus bounded\n"
+            "  admission: max_concurrent execution slots, a max_queue_depth "
+            "queue, and a\n"
+            f"  full-queue policy of 'reject' (typed ServerOverloadedError), "
+            "'shed-oldest',\n"
+            "  or 'block'.  Deadlines are fixed at submission, so queue "
+            "wait spends the\n"
+            "  query's own budget, and expired queued queries are shed "
+            "without a slot.\n"
+            "  drain() cancels queued queries, finishes running ones, and "
+            "closes pools\n"
+            "  leak-free.  Defaults: slots="
+            f"{defaults.max_concurrent}, queue depth="
+            f"{defaults.max_queue_depth}, policy={defaults.policy!r},\n"
+            f"  breaker threshold={defaults.breaker_threshold} / cooldown="
+            f"{defaults.breaker_cooldown:g}s.  Determinism contract: an\n"
+            "  admitted query's result is byte-identical to a direct "
+            "Database.run()."
         )
         return "\n".join(lines)

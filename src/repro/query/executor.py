@@ -220,6 +220,7 @@ class PlanRunner:
         factorized: Optional[bool] = None,
         timeout: Optional[float] = None,
         cancel: Optional[CancellationToken] = None,
+        runtime: Optional[QueryContext] = None,
     ) -> int:
         """Number of matches produced by the plan (sink-aware).
 
@@ -234,10 +235,13 @@ class PlanRunner:
         runtime guardrails: a violated deadline raises
         :class:`~repro.errors.QueryTimeoutError`, a triggered token
         :class:`~repro.errors.QueryCancelledError` — both carrying the
-        partial stats merged so far.
+        partial stats merged so far.  A pre-built ``runtime`` overrides
+        both: the admission-controlled server passes one whose deadline was
+        fixed at submission, so queue wait spends the same budget.
         """
         use_factorized = self._resolve_factorized(plan, factorized)
-        runtime = make_runtime(timeout, cancel)
+        if runtime is None:
+            runtime = make_runtime(timeout, cancel)
         stream = (
             self.execute_factorized(plan, runtime=runtime)
             if use_factorized
@@ -251,17 +255,19 @@ class PlanRunner:
         limit: Optional[int] = None,
         timeout: Optional[float] = None,
         cancel: Optional[CancellationToken] = None,
+        runtime: Optional[QueryContext] = None,
     ) -> List[Dict[str, int]]:
         """Materialize matches as dictionaries (optionally limited).
 
         A reached ``limit`` stops the execute stream mid-batch: the final
         batch contributes only its needed prefix rows and no further batch
-        is pulled from the pipeline.  ``timeout``/``cancel`` behave as in
-        :meth:`count`.
+        is pulled from the pipeline.  ``timeout``/``cancel``/``runtime``
+        behave as in :meth:`count`.
         """
         if limit is not None and limit <= 0:
             return []
-        runtime = make_runtime(timeout, cancel)
+        if runtime is None:
+            runtime = make_runtime(timeout, cancel)
         return FlattenSink(limit=limit).drain(self.execute(plan, runtime=runtime))
 
     def run(
@@ -271,6 +277,7 @@ class PlanRunner:
         factorized: Optional[bool] = None,
         timeout: Optional[float] = None,
         cancel: Optional[CancellationToken] = None,
+        runtime: Optional[QueryContext] = None,
     ) -> QueryResult:
         """Execute a plan, timing it and gathering execution statistics.
 
@@ -281,8 +288,8 @@ class PlanRunner:
         factorized stats (``combos_avoided``, ``segments_emitted``) but no
         rows, so it cannot be combined with ``materialize=True``.
 
-        ``timeout``/``cancel`` behave as in :meth:`count`; a run that
-        finishes under its deadline records the unused budget in
+        ``timeout``/``cancel``/``runtime`` behave as in :meth:`count`; a
+        run that finishes under its deadline records the unused budget in
         ``stats.deadline_remaining``.
         """
         use_factorized = bool(factorized) and self._resolve_factorized(
@@ -293,7 +300,8 @@ class PlanRunner:
                 "materialize=True needs flat tuples; a factorized run is "
                 "count-only (use the default flat path to collect matches)"
             )
-        runtime = make_runtime(timeout, cancel)
+        if runtime is None:
+            runtime = make_runtime(timeout, cancel)
         stats = ExecutionStats()
         started = time.perf_counter()
         matches: List[Dict[str, int]] = []

@@ -48,10 +48,23 @@ class CancellationToken:
 
     def __init__(self) -> None:
         self._event = threading.Event()
+        self._lock = threading.Lock()
 
-    def cancel(self) -> None:
-        """Request cancellation; idempotent and safe from any thread."""
-        self._event.set()
+    def cancel(self) -> bool:
+        """Request cancellation; idempotent and safe from any thread.
+
+        Returns True for exactly one caller — the one whose call flipped the
+        token — and False for every later (or concurrent) call.  Callers
+        that account for cancellations (the server's shed counters, tests
+        hammering the token from many threads) can attribute the transition
+        without a separate lock; callers that only want the query stopped
+        can ignore the return value.
+        """
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._event.set()
+            return True
 
     @property
     def cancelled(self) -> bool:
@@ -73,6 +86,12 @@ class QueryContext:
             token is created when omitted, so :meth:`request_abort` always
             has something to set.
         clock: monotonic time source, injectable for deterministic tests.
+        deadline: an absolute deadline in the clock's domain, overriding the
+            ``clock() + timeout`` computation.  The admission-controlled
+            server fixes a query's deadline at *submission*, so time spent
+            waiting in the admission queue counts against the same budget
+            the query executes under; ``timeout`` should still carry the
+            originally requested budget so error messages stay meaningful.
     """
 
     def __init__(
@@ -80,6 +99,7 @@ class QueryContext:
         timeout: Optional[float] = None,
         cancel: Optional[CancellationToken] = None,
         clock: Callable[[], float] = time.monotonic,
+        deadline: Optional[float] = None,
     ) -> None:
         if timeout is not None and timeout <= 0:
             raise ExecutionError(
@@ -88,7 +108,10 @@ class QueryContext:
         self.timeout = timeout
         self.token = cancel if cancel is not None else CancellationToken()
         self._clock = clock
-        self.deadline = None if timeout is None else clock() + timeout
+        if deadline is not None:
+            self.deadline = deadline
+        else:
+            self.deadline = None if timeout is None else clock() + timeout
 
     # ------------------------------------------------------------------
     # state queries
@@ -125,8 +148,13 @@ class QueryContext:
         if self.expired():
             if stats is not None and hasattr(stats, "deadline_remaining"):
                 stats.deadline_remaining = 0.0
+            budget = (
+                f"its {self.timeout:g}s deadline"
+                if self.timeout is not None
+                else "its deadline"
+            )
             raise QueryTimeoutError(
-                f"query exceeded its {self.timeout:g}s deadline",
+                f"query exceeded {budget}",
                 stats=stats,
                 timeout=self.timeout,
             )

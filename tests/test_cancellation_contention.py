@@ -1,0 +1,190 @@
+"""CancellationToken (and its server paths) under thread contention.
+
+The token is the one object the runtime shares freely across threads: the
+caller's thread cancels, slot threads and pool workers check, and the
+server's shed paths need ``cancel()``'s return value to attribute the
+transition to exactly one caller.  These tests hammer those properties
+from many threads at once, and exercise the server's cancel-before-admit
+and cancel-while-queued admission paths.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import QueryCancelledError
+from repro.query.faults import FAULTS_ENV_VAR
+from repro.query.pattern import QueryGraph
+from repro.query.runtime import CancellationToken, QueryContext
+from repro.server import DatabaseServer, ServerConfig
+
+
+def _owns_query() -> QueryGraph:
+    q = QueryGraph("owns")
+    q.add_vertex("c1", label="Customer")
+    q.add_vertex("a1", label="Account")
+    q.add_edge("c1", "a1", label="Owns", name="r1")
+    return q
+
+
+# ----------------------------------------------------------------------
+# the token itself
+# ----------------------------------------------------------------------
+def test_exactly_one_cancel_call_wins_the_race():
+    for _ in range(20):
+        token = CancellationToken()
+        barrier = threading.Barrier(16)
+        wins = []
+
+        def racer():
+            barrier.wait()
+            if token.cancel():
+                wins.append(threading.get_ident())
+
+        threads = [threading.Thread(target=racer) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert len(wins) == 1
+        assert token.cancelled
+
+
+def test_cancel_is_sticky_and_idempotent():
+    token = CancellationToken()
+    assert token.cancel() is True
+    for _ in range(5):
+        assert token.cancel() is False
+        assert token.cancelled
+
+
+def test_concurrent_cancel_and_check():
+    """Checkers spin on ``check()`` while cancellers race ``cancel()``.
+
+    Every checker must terminate with :class:`QueryCancelledError` (no
+    missed wake-up, no deadlock), and the winning cancel is unique.
+    """
+    token = CancellationToken()
+    context = QueryContext(cancel=token)
+    start = threading.Barrier(12)
+    cancelled_seen = []
+    wins = []
+    errors = []
+
+    def checker():
+        start.wait()
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            try:
+                context.check()
+            except QueryCancelledError:
+                cancelled_seen.append(1)
+                return
+        errors.append("checker never observed cancellation")
+
+    def canceller():
+        start.wait()
+        if token.cancel():
+            wins.append(1)
+
+    threads = [threading.Thread(target=checker) for _ in range(8)] + [
+        threading.Thread(target=canceller) for _ in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=20)
+    assert errors == []
+    assert len(cancelled_seen) == 8
+    assert len(wins) == 1
+
+
+# ----------------------------------------------------------------------
+# server admission paths
+# ----------------------------------------------------------------------
+def test_cancel_before_admit_sheds_without_running(example_db):
+    token = CancellationToken()
+    token.cancel()
+    with example_db.server(ServerConfig(max_concurrent=1)) as server:
+        ticket = server.submit(_owns_query(), cancel=token)
+        with pytest.raises(QueryCancelledError):
+            ticket.result()
+        assert ticket.outcome == "shed"
+    # Pre-cancelled queries never occupy a slot.
+    assert server.stats.admitted == 0
+    assert server.stats.shed == 1
+    assert server.stats.submitted == 1
+
+
+def test_many_threads_cancelling_one_queued_ticket(example_db, monkeypatch):
+    # Hold the single slot with a delay-fault query (sleeps in a worker
+    # thread, so cancellation stays responsive), queue a victim, then let
+    # 12 threads race to cancel the victim: it shed exactly once and the
+    # counters reconcile.
+    monkeypatch.setenv(FAULTS_ENV_VAR, "delay@0:2.5!")
+    hold = CancellationToken()
+    server = DatabaseServer(
+        example_db,
+        ServerConfig(
+            max_concurrent=1,
+            max_queue_depth=4,
+            parallelism=2,
+            backend="thread",
+        ),
+    )
+    try:
+        server.submit(_owns_query(), cancel=hold)
+        deadline = time.monotonic() + 5
+        while server.running() != 1:
+            assert time.monotonic() < deadline, "slot never occupied"
+            time.sleep(0.005)
+        victim = server.submit(_owns_query())
+
+        barrier = threading.Barrier(12)
+        first_cancels = []
+
+        def attacker():
+            barrier.wait()
+            if victim.cancel():
+                first_cancels.append(1)
+
+        threads = [threading.Thread(target=attacker) for _ in range(12)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert len(first_cancels) == 1
+        with pytest.raises(QueryCancelledError):
+            victim.result()
+        assert server.stats.shed == 1
+    finally:
+        hold.cancel()
+        server.drain()
+    stats = server.stats.snapshot()
+    assert stats["submitted"] == stats["admitted"] + stats["rejected"] + stats["shed"]
+
+
+def test_cancel_running_query_via_ticket(example_db, monkeypatch):
+    monkeypatch.setenv(FAULTS_ENV_VAR, "delay@0:2.5!")
+    server = DatabaseServer(
+        example_db,
+        ServerConfig(max_concurrent=1, parallelism=2, backend="thread"),
+    )
+    try:
+        ticket = server.submit(_owns_query())
+        deadline = time.monotonic() + 5
+        while server.running() != 1:
+            assert time.monotonic() < deadline, "slot never occupied"
+            time.sleep(0.005)
+        ticket.cancel()
+        with pytest.raises(QueryCancelledError):
+            ticket.result()
+        # It *was* admitted (ran, then aborted cooperatively): failed, not
+        # shed.
+        assert server.stats.admitted == 1
+        assert server.stats.failed == 1
+    finally:
+        server.drain()
