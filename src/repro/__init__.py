@@ -65,12 +65,17 @@ from .index import (
 )
 from .query import (
     CancellationToken,
+    CountSink,
     Database,
+    ExistsSink,
     Executor,
     FaultPlan,
+    FlattenSink,
+    LimitSink,
     MorselExecutor,
     NaiveMatcher,
     Optimizer,
+    PipelineBuilder,
     Predicate,
     QueryContext,
     QueryGraph,
@@ -86,10 +91,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CancellationToken",
+    "CountSink",
     "Database",
     "DatabaseServer",
     "DDLParseError",
+    "ExistsSink",
     "FaultPlan",
+    "FlattenSink",
+    "LimitSink",
+    "PipelineBuilder",
     "QueryCancelledError",
     "QueryContext",
     "QueryTimeoutError",

@@ -1,5 +1,23 @@
 """Query processing: patterns, predicates, operators, optimizer, executor.
 
+Physical pipeline
+-----------------
+
+Plans execute through an explicit physical pipeline
+(:mod:`repro.query.pipeline`): :class:`~repro.query.pipeline
+.PipelineBuilder` compiles a :class:`~repro.query.plan.QueryPlan` into
+``Source → [stages...] → Sink``.  Sinks are first-class and push-style —
+:class:`~repro.query.pipeline.CountSink`, :class:`~repro.query.pipeline
+.FlattenSink`, and the streaming :class:`~repro.query.pipeline.LimitSink` /
+:class:`~repro.query.pipeline.ExistsSink` — and a sink's halt signal
+(``push`` returning ``False``) propagates across batches *and* across
+morsels, so ``collect(limit=)`` / ``exists()`` genuinely short-circuit:
+upstream operators stop mid-stream and the morsel dispatcher stops handing
+out morsels (observable as ``ExecutionStats.morsels_dispatched``).  Every
+stage boundary is timed with an injectable monotonic clock
+(``ExecutionStats.operator_seconds`` / ``operator_batches``); the timing
+fields are excluded from the byte-identity contract below.
+
 Parallel execution
 ------------------
 
@@ -57,8 +75,20 @@ from .backends import (
 )
 from .binding import MatchBatch, concat_batches
 from .engine import Database, IndexCreationResult
-from .executor import CountSink, Executor, FlattenSink, MorselExecutor, QueryResult
+from .executor import Executor, MorselExecutor, QueryResult
 from .factorized import FactorizedBatch, FactorizedSegment
+from .pipeline import (
+    CountSink,
+    ExistsSink,
+    FlattenSink,
+    LimitSink,
+    PhysicalPipeline,
+    PipelineBuilder,
+    Sink,
+    run_pipeline,
+    run_pipeline_factorized,
+    run_pipeline_legacy,
+)
 from .faults import FaultPlan
 from .morsels import degree_weighted_ranges, even_ranges, ranges_of_size
 from .runtime import CancellationToken, QueryContext
@@ -103,6 +133,7 @@ __all__ = [
     "QueryContext",
     "ExecutionContext",
     "ExecutionStats",
+    "ExistsSink",
     "Executor",
     "ExtendIntersect",
     "ExtensionLeg",
@@ -111,6 +142,7 @@ __all__ = [
     "Filter",
     "FlattenSink",
     "IndexCreationResult",
+    "LimitSink",
     "MatchBatch",
     "MorselBackend",
     "MorselExecutor",
@@ -118,6 +150,8 @@ __all__ = [
     "MultiExtend",
     "NaiveMatcher",
     "Optimizer",
+    "PhysicalPipeline",
+    "PipelineBuilder",
     "Predicate",
     "ProcessBackend",
     "PropertyRef",
@@ -128,6 +162,7 @@ __all__ = [
     "QueryVertex",
     "ScanVertices",
     "SerialBackend",
+    "Sink",
     "SortedRangeFilter",
     "ThreadBackend",
     "WorkerPayload",
@@ -142,4 +177,7 @@ __all__ = [
     "ranges_of_size",
     "reply_checksum",
     "residual_conjuncts",
+    "run_pipeline",
+    "run_pipeline_factorized",
+    "run_pipeline_legacy",
 ]

@@ -105,98 +105,13 @@ from .operators import (
     MultiExtend,
     ScanVertices,
 )
+from .pipeline import run_pipeline, run_pipeline_factorized
 from .plan import QueryPlan
 
 
 # ----------------------------------------------------------------------
 # the morsel body (shared by every backend)
 # ----------------------------------------------------------------------
-def _runtime_checked(
-    stream: Iterator[MatchBatch], context: ExecutionContext
-) -> Iterator[MatchBatch]:
-    """Interleave cooperative deadline/cancellation checks into a batch stream.
-
-    Wrapped around the *scan* stream, so the check granularity is one scan
-    batch of pipeline work even for plans whose later operators filter most
-    batches away before they reach the output loop.
-    """
-    for batch in stream:
-        context.check_runtime()
-        yield batch
-
-
-def run_pipeline(
-    plan: QueryPlan, context: ExecutionContext, scan: Optional[ScanVertices] = None
-) -> Iterator[MatchBatch]:
-    """Drive the plan's operator pipeline under ``context``.
-
-    ``scan`` optionally replaces the plan's leading scan operator (the morsel
-    dispatcher substitutes a range-restricted clone); the remaining operators
-    are shared as-is — they are stateless between calls.  When the context
-    carries a :class:`~repro.query.runtime.QueryContext`, the deadline and
-    cancellation token are checked between batches (on the scan stream and
-    on the output stream), raising
-    :class:`~repro.errors.QueryTimeoutError` /
-    :class:`~repro.errors.QueryCancelledError` mid-stream.
-    """
-    lead = scan if scan is not None else plan.operators[0]
-    assert isinstance(lead, ScanVertices)
-    stream: Iterator[MatchBatch] = lead.execute(context)
-    if context.runtime is not None:
-        stream = _runtime_checked(stream, context)
-    for operator in plan.operators[1:]:
-        if isinstance(operator, (ExtendIntersect, MultiExtend, Filter)):
-            stream = operator.execute(stream, context)
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unsupported operator {type(operator).__name__}")
-    for batch in stream:
-        context.check_runtime()
-        context.stats.output_rows += len(batch)
-        yield batch
-
-
-def run_pipeline_factorized(
-    plan: QueryPlan, context: ExecutionContext, scan: Optional[ScanVertices] = None
-) -> Iterator[FactorizedBatch]:
-    """Drive the plan's flat prefix, then emit the terminal suffix unexpanded.
-
-    The operators before ``plan.factorized_suffix_start()`` run exactly as
-    in :func:`run_pipeline`; each prefix batch is then handed to every
-    suffix operator's ``extend_factorized`` once, producing one unexpanded
-    :class:`~repro.query.factorized.FactorizedSegment` per operator instead
-    of the combination cross-product.  ``output_rows`` still advances by the
-    represented match count, so the counter means the same thing on both
-    paths; ``combos_avoided``/``segments_emitted`` record what the flat path
-    would have materialized.
-    """
-    suffix_start = plan.factorized_suffix_start()
-    if suffix_start >= len(plan.operators):
-        raise ExecutionError(
-            f"plan for {plan.query.name!r} has no factorizable suffix; "
-            "use the flat pipeline"
-        )
-    lead = scan if scan is not None else plan.operators[0]
-    assert isinstance(lead, ScanVertices)
-    stream: Iterator[MatchBatch] = lead.execute(context)
-    if context.runtime is not None:
-        stream = _runtime_checked(stream, context)
-    for operator in plan.operators[1:suffix_start]:
-        stream = operator.execute(stream, context)
-    suffix = plan.operators[suffix_start:]
-    for batch in stream:
-        context.check_runtime()
-        if len(batch) == 0:
-            continue
-        segments = tuple(
-            operator.extend_factorized(batch, context) for operator in suffix
-        )
-        factorized = FactorizedBatch(prefix=batch, segments=segments)
-        context.stats.output_rows += factorized.match_count()
-        context.stats.combos_avoided += factorized.flat_rows_avoided()
-        context.stats.segments_emitted += len(segments)
-        yield factorized
-
-
 def run_morsel(
     plan: QueryPlan,
     graph: PropertyGraph,
@@ -205,17 +120,21 @@ def run_morsel(
     stop: int,
     factorized: bool = False,
     runtime: Optional[QueryContext] = None,
+    clock=None,
 ) -> Tuple[List[object], ExecutionStats]:
-    """Run the full pipeline over one vertex-range morsel.
+    """Run the full compiled pipeline over one vertex-range morsel.
 
     ``batch_size`` is the *in-flight* batch size (the dispatcher passes the
     coalesced size); the dispatcher re-splits the returned batches to its
     emission size.  With ``factorized=True`` the morsel body runs
-    :func:`run_pipeline_factorized` instead and returns
-    :class:`~repro.query.factorized.FactorizedBatch` objects (never
+    :func:`~repro.query.pipeline.run_pipeline_factorized` instead and
+    returns :class:`~repro.query.factorized.FactorizedBatch` objects (never
     re-split: their prefixes are already at most the in-flight size).
     ``runtime`` (in-process backends only — it cannot cross a process
-    boundary) enables cooperative per-batch deadline/cancellation checks.
+    boundary) enables cooperative per-batch deadline/cancellation checks;
+    ``clock`` (in-process only, for the same reason) overrides the
+    per-stage timing clock, so tests can drive morsel bodies with a fake
+    clock.
     """
     stats = ExecutionStats()
     context = ExecutionContext(
@@ -225,6 +144,8 @@ def run_morsel(
         stats=stats,
         runtime=runtime,
     )
+    if clock is not None:
+        context.clock = clock
     scan = replace(plan.operators[0], vertex_range=(start, stop))
     pipeline = run_pipeline_factorized if factorized else run_pipeline
     batches = list(pipeline(plan, context, scan=scan))
@@ -242,6 +163,7 @@ def run_morsel_faulted(
     faults: Optional[FaultPlan] = None,
     index: int = 0,
     attempt: int = 0,
+    clock=None,
 ) -> Tuple[List[object], ExecutionStats]:
     """:func:`run_morsel` with the in-process fault-injection hooks applied.
 
@@ -255,7 +177,14 @@ def run_morsel_faulted(
     if faults is not None:
         faults.apply_before_morsel(index, attempt)
     result = run_morsel(
-        plan, graph, batch_size, start, stop, factorized=factorized, runtime=runtime
+        plan,
+        graph,
+        batch_size,
+        start,
+        stop,
+        factorized=factorized,
+        runtime=runtime,
+        clock=clock,
     )
     if faults is not None and faults.corrupts(index, attempt):
         raise InjectedReplyCorruption(
@@ -718,6 +647,7 @@ class SerialBackend(MorselBackend):
         self._factorized = factorized
         self._runtime = runtime
         self._faults = faults
+        self._clock = getattr(executor, "clock", None)
 
     def submit(
         self, start: int, stop: int, index: int = 0, attempt: int = 0
@@ -738,6 +668,7 @@ class SerialBackend(MorselBackend):
                 faults=self._faults,
                 index=index,
                 attempt=attempt,
+                clock=self._clock,
             )
         except (InjectedWorkerCrash, InjectedReplyCorruption) as fault:
             raise WorkerCrashError(
@@ -769,6 +700,7 @@ class ThreadBackend(MorselBackend):
         self._factorized = factorized
         self._runtime = runtime
         self._faults = faults
+        self._clock = getattr(executor, "clock", None)
         self._pool = ThreadPoolExecutor(max_workers=executor.num_workers)
 
     def submit(self, start: int, stop: int, index: int = 0, attempt: int = 0):
@@ -785,6 +717,7 @@ class ThreadBackend(MorselBackend):
                 faults=self._faults,
                 index=index,
                 attempt=attempt,
+                clock=self._clock,
             ),
             index,
             start,

@@ -447,6 +447,53 @@ class Database:
             plan, factorized=factorized, timeout=timeout, cancel=cancel
         )
 
+    def collect(
+        self,
+        query: Union[QueryGraph, QueryPlan],
+        limit: Optional[int] = None,
+        parallelism: Optional[int] = None,
+        backend: Optional[str] = None,
+        timeout: Optional[float] = None,
+        cancel: Optional[CancellationToken] = None,
+    ) -> List[Dict[str, int]]:
+        """Matches as dictionaries; ``limit`` short-circuits the pipeline.
+
+        A ``limit`` drains through the streaming
+        :class:`~repro.query.pipeline.LimitSink`: the pipeline halts as
+        soon as the limit is reached — mid-batch, and under
+        ``parallelism >= 2`` mid-morsel (no further morsel is dispatched) —
+        while the returned prefix stays byte-identical to the unlimited
+        run's first ``limit`` matches on every backend.
+        ``timeout``/``cancel`` behave as in :meth:`run`.
+        """
+        workers = self._resolve_parallelism(parallelism)
+        plan, snapshot = self._pinned_plan(query)
+        return self._make_executor(snapshot.graph, workers, backend).collect(
+            plan, limit=limit, timeout=timeout, cancel=cancel
+        )
+
+    def exists(
+        self,
+        query: Union[QueryGraph, QueryPlan],
+        parallelism: Optional[int] = None,
+        backend: Optional[str] = None,
+        timeout: Optional[float] = None,
+        cancel: Optional[CancellationToken] = None,
+    ) -> bool:
+        """Whether the query has any match (streaming, first-match early-out).
+
+        Drains through :class:`~repro.query.pipeline.ExistsSink`: the
+        first non-empty batch halts the pipeline and (under
+        ``parallelism >= 2``) stops morsel dispatch, so nothing beyond the
+        first match is ever computed.  ``timeout``/``cancel`` behave as in
+        :meth:`run`.
+        """
+        workers = self._resolve_parallelism(parallelism)
+        plan, snapshot = self._pinned_plan(query)
+        return self._make_executor(snapshot.graph, workers, backend).exists(
+            plan, timeout=timeout, cancel=cancel
+        )
+
     # ------------------------------------------------------------------
     # serving
     # ------------------------------------------------------------------
@@ -480,6 +527,35 @@ class Database:
         lines = [self.graph.describe(), self.store.describe()]
         default = self._resolve_parallelism(None)
         backend_name = self._resolve_backend(None)
+        lines.append(
+            "Pipeline (physical execution):\n"
+            "  plans compile to Source -> [stages] -> Sink "
+            "(repro.query.pipeline): a leading\n"
+            "  vertex scan, extend-intersect / multi-extend / filter stages "
+            "labelled\n"
+            "  '0:scan', '1:extend', ... (plan.describe() lists the logical "
+            "operators), and\n"
+            "  a first-class push-style sink — CountSink, FlattenSink, or "
+            "the streaming\n"
+            "  LimitSink / ExistsSink that never materialize beyond need.  "
+            "Halt semantics:\n"
+            "  a sink's push() returning False stops the pipeline "
+            "mid-stream, across\n"
+            "  batches and across morsels — collect(limit=) and exists() "
+            "stop dispatching\n"
+            "  morsels once satisfied (stats.morsels_dispatched records how "
+            "many went out).\n"
+            "  Per-operator stats: every stage boundary is timed "
+            "(injectable monotonic\n"
+            "  clock); stats.operator_seconds maps stage labels to "
+            "exclusive wall time\n"
+            "  (summing to the pipeline total) and stats.operator_batches "
+            "counts emitted\n"
+            "  batches — on every backend, surviving the process workers' "
+            "columnar stats\n"
+            "  transport, and excluded from the byte-identity contract "
+            "below."
+        )
         lines.append(
             "Parallel execution:\n"
             f"  default parallelism: {default} "

@@ -100,6 +100,14 @@ from .factorized import FactorizedBatch
 from .faults import FAULTS_ENV_VAR, FaultPlan
 from .morsels import degree_weighted_ranges, even_ranges, ranges_of_size
 from .operators import ExecutionContext, ExecutionStats, ScanVertices
+from .pipeline import (
+    CountSink,
+    ExistsSink,
+    FlattenSink,
+    LimitSink,
+    PipelineBuilder,
+    Sink,
+)
 from .plan import QueryPlan
 from .runtime import CancellationToken, QueryContext, make_runtime
 
@@ -117,57 +125,8 @@ class QueryResult:
         return self.count
 
 
-# ----------------------------------------------------------------------
-# sinks: how a plan's output stream is finalized
-# ----------------------------------------------------------------------
-class CountSink:
-    """Aggregate-only sink: accumulates the match count, never flat rows.
-
-    Consumes either stream shape — flat :class:`~repro.query.binding
-    .MatchBatch` batches (``len`` per batch) or
-    :class:`~repro.query.factorized.FactorizedBatch` batches (per-row
-    product of segment cardinalities, one multiply/sum pass per batch) —
-    and produces the identical count for either, by the factorization
-    contract.
-    """
-
-    def __init__(self) -> None:
-        self.count = 0
-
-    def drain(self, stream) -> int:
-        for item in stream:
-            self.count += item.match_count()
-        return self.count
-
-
-class FlattenSink:
-    """Materializing sink: flat match dicts — the kept oracle representation.
-
-    With a ``limit`` the sink stops consuming the stream as soon as the
-    limit is reached *mid-batch*: only the needed rows of the final batch
-    are converted, and upstream operators never run past it (abandoning the
-    generator closes the pipeline / backend window).
-    """
-
-    def __init__(self, limit: Optional[int] = None) -> None:
-        self.matches: List[Dict[str, int]] = []
-        self.limit = limit
-
-    def drain(self, stream) -> List[Dict[str, int]]:
-        for batch in stream:
-            if self.limit is not None:
-                remaining = self.limit - len(self.matches)
-                if remaining <= len(batch):
-                    self.matches.extend(
-                        batch.row(index) for index in range(remaining)
-                    )
-                    return self.matches
-            self.matches.extend(batch.to_dicts())
-        return self.matches
-
-
 class PlanRunner:
-    """Shared count/collect/run entry points over an ``execute`` stream.
+    """Shared count/collect/exists/run entry points over an ``execute`` stream.
 
     Subclasses provide ``execute(plan, stats=None) -> Iterator[MatchBatch]``
     (and, for factorized-capable runners, ``execute_factorized``); the
@@ -175,13 +134,25 @@ class PlanRunner:
     serial and the morsel-driven executor, so their result contracts cannot
     drift apart.
 
-    Sink-aware finalization: row-producing entry points (``collect``,
-    ``run(materialize=True)``) always drain the flat stream through a
-    :class:`FlattenSink` — the kept oracle.  ``count`` (and
-    ``run(factorized=True)``) route plans with a factorizable suffix
-    through :class:`CountSink` over the factorized stream, computing the
-    count from unexpanded cardinality products instead of materializing the
-    combination cross-product.
+    Sink-aware finalization: every entry point drains its stream through a
+    first-class pipeline :class:`~repro.query.pipeline.Sink` whose halt
+    signal propagates upstream.  Row-producing entry points (``collect``,
+    ``run(materialize=True)``) use :class:`~repro.query.pipeline
+    .FlattenSink` — the kept oracle — or its streaming
+    :class:`~repro.query.pipeline.LimitSink` spelling when a ``limit`` is
+    given, which stops the pipeline (and, under the morsel dispatcher,
+    morsel submission) as soon as the limit is satisfied.  ``exists``
+    drains through :class:`~repro.query.pipeline.ExistsSink`, halting on
+    the first match.  ``count`` (and ``run(factorized=True)``) route plans
+    with a factorizable suffix through
+    :class:`~repro.query.pipeline.CountSink` over the factorized stream,
+    computing the count from unexpanded cardinality products instead of
+    materializing the combination cross-product.
+
+    Entry points accept an optional ``stats`` object so callers can
+    observe the merged :class:`~repro.query.operators.ExecutionStats`
+    (per-stage times, ``morsels_dispatched``, ...) of runs whose return
+    value carries no stats of its own.
     """
 
     def execute(
@@ -221,6 +192,7 @@ class PlanRunner:
         timeout: Optional[float] = None,
         cancel: Optional[CancellationToken] = None,
         runtime: Optional[QueryContext] = None,
+        stats: Optional[ExecutionStats] = None,
     ) -> int:
         """Number of matches produced by the plan (sink-aware).
 
@@ -243,9 +215,9 @@ class PlanRunner:
         if runtime is None:
             runtime = make_runtime(timeout, cancel)
         stream = (
-            self.execute_factorized(plan, runtime=runtime)
+            self.execute_factorized(plan, stats=stats, runtime=runtime)
             if use_factorized
-            else self.execute(plan, runtime=runtime)
+            else self.execute(plan, stats=stats, runtime=runtime)
         )
         return CountSink().drain(stream)
 
@@ -256,19 +228,46 @@ class PlanRunner:
         timeout: Optional[float] = None,
         cancel: Optional[CancellationToken] = None,
         runtime: Optional[QueryContext] = None,
+        stats: Optional[ExecutionStats] = None,
     ) -> List[Dict[str, int]]:
         """Materialize matches as dictionaries (optionally limited).
 
-        A reached ``limit`` stops the execute stream mid-batch: the final
-        batch contributes only its needed prefix rows and no further batch
-        is pulled from the pipeline.  ``timeout``/``cancel``/``runtime``
+        A ``limit`` drains through the streaming
+        :class:`~repro.query.pipeline.LimitSink`: the sink halts the
+        pipeline as soon as the limit is reached *mid-batch* — the final
+        batch contributes only its needed prefix rows, no further batch is
+        pulled, and under the morsel dispatcher no further morsel is
+        submitted (``stats.morsels_dispatched`` stays below the unlimited
+        run's).  The returned prefix is byte-identical to the unlimited
+        run's first ``limit`` matches.  ``timeout``/``cancel``/``runtime``
         behave as in :meth:`count`.
         """
         if limit is not None and limit <= 0:
             return []
+        sink = FlattenSink() if limit is None else LimitSink(limit)
         if runtime is None:
             runtime = make_runtime(timeout, cancel)
-        return FlattenSink(limit=limit).drain(self.execute(plan, runtime=runtime))
+        return sink.drain(self.execute(plan, stats=stats, runtime=runtime))
+
+    def exists(
+        self,
+        plan: QueryPlan,
+        timeout: Optional[float] = None,
+        cancel: Optional[CancellationToken] = None,
+        runtime: Optional[QueryContext] = None,
+        stats: Optional[ExecutionStats] = None,
+    ) -> bool:
+        """Whether the plan produces any match at all (streaming, early-out).
+
+        Drains through :class:`~repro.query.pipeline.ExistsSink`: the first
+        non-empty batch halts the pipeline, so upstream operators (and,
+        under the morsel dispatcher, morsel submission) stop as soon as one
+        match is proven.  ``timeout``/``cancel``/``runtime`` behave as in
+        :meth:`count`.
+        """
+        if runtime is None:
+            runtime = make_runtime(timeout, cancel)
+        return ExistsSink().drain(self.execute(plan, stats=stats, runtime=runtime))
 
     def run(
         self,
@@ -323,11 +322,39 @@ class PlanRunner:
 
 
 class Executor(PlanRunner):
-    """Executes query plans serially over one property graph."""
+    """Executes query plans serially over one property graph.
 
-    def __init__(self, graph: PropertyGraph, batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+    ``clock`` optionally overrides the monotonic clock used for per-stage
+    timing (``ExecutionStats.operator_seconds``) — injectable so tests can
+    assert exact time attribution with a fake clock.
+    """
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        clock=None,
+    ) -> None:
         self.graph = graph
         self.batch_size = batch_size
+        self.clock = clock
+
+    def _context(
+        self,
+        plan: QueryPlan,
+        stats: Optional[ExecutionStats],
+        runtime: Optional[QueryContext],
+    ) -> ExecutionContext:
+        context = ExecutionContext(
+            graph=self.graph,
+            query=plan.query,
+            batch_size=self.batch_size,
+            stats=stats or ExecutionStats(),
+            runtime=runtime,
+        )
+        if self.clock is not None:
+            context.clock = self.clock
+        return context
 
     def execute(
         self,
@@ -336,14 +363,7 @@ class Executor(PlanRunner):
         runtime: Optional[QueryContext] = None,
     ) -> Iterator[MatchBatch]:
         """Yield batches of matches produced by the plan."""
-        context = ExecutionContext(
-            graph=self.graph,
-            query=plan.query,
-            batch_size=self.batch_size,
-            stats=stats or ExecutionStats(),
-            runtime=runtime,
-        )
-        yield from run_pipeline(plan, context)
+        yield from run_pipeline(plan, self._context(plan, stats, runtime))
 
     def execute_factorized(
         self,
@@ -352,14 +372,9 @@ class Executor(PlanRunner):
         runtime: Optional[QueryContext] = None,
     ) -> Iterator[FactorizedBatch]:
         """Yield factorized batches: flat prefixes with unexpanded suffixes."""
-        context = ExecutionContext(
-            graph=self.graph,
-            query=plan.query,
-            batch_size=self.batch_size,
-            stats=stats or ExecutionStats(),
-            runtime=runtime,
+        yield from run_pipeline_factorized(
+            plan, self._context(plan, stats, runtime)
         )
-        yield from run_pipeline_factorized(plan, context)
 
 
 #: Morsels handed out per worker (load-balancing granularity of the default
@@ -434,6 +449,10 @@ class MorselExecutor(PlanRunner):
             string) injected into this executor's queries — the
             programmatic spelling of the ``REPRO_FAULTS`` environment
             variable, for chaos tests.
+        clock: override of the per-stage timing clock, threaded into the
+            in-process morsel bodies (serial/thread backends and the serial
+            fallback; process workers keep the real clock — callables do
+            not cross the pickle boundary).
     """
 
     def __init__(
@@ -448,6 +467,7 @@ class MorselExecutor(PlanRunner):
         max_retries: int = MAX_MORSEL_RETRIES,
         morsel_timeout: Optional[float] = None,
         fault_plan: Union[None, str, FaultPlan] = None,
+        clock=None,
     ) -> None:
         if num_workers < 1:
             raise ExecutionError(f"num_workers must be >= 1, got {num_workers}")
@@ -483,6 +503,7 @@ class MorselExecutor(PlanRunner):
         self.max_retries = int(max_retries)
         self.morsel_timeout = morsel_timeout
         self.fault_plan = fault_plan
+        self.clock = clock
 
     def _resolve_faults(self) -> Optional[FaultPlan]:
         """The active fault plan: the instance's, else the environment's."""
@@ -622,6 +643,17 @@ class MorselExecutor(PlanRunner):
         — gets the merged partial stats attached and requests abort on the
         runtime's token, so in-flight cooperative morsels stop at their next
         batch boundary instead of running to completion inside ``close()``.
+
+        **Early termination across morsels.**  The window is topped up at
+        the head of each merge iteration — *after* the consumer has pulled
+        the previous morsel's batches — never eagerly ahead of consumption.
+        When a sink halts (``collect(limit=)`` satisfied, ``exists`` proven)
+        this generator is abandoned mid-yield, so no further morsel is ever
+        submitted to the backend; ``merged.morsels_dispatched`` (counted at
+        first-attempt submission) then stays strictly below the full
+        domain's morsel count.  Before this restructure the dispatcher
+        refilled the window *before* yielding, so a satisfied limit still
+        dispatched one extra morsel per buffered result.
         """
         merged = stats if stats is not None else ExecutionStats()
         all_ranges = self.morsel_ranges(plan)
@@ -635,12 +667,19 @@ class MorselExecutor(PlanRunner):
         try:
             # Window entries: (handle, index, lo, hi, attempt).
             pending = deque()
-            for index, (lo, hi) in ranges:
-                handle = backend.submit(lo, hi, index=index, attempt=0)
-                pending.append((handle, index, lo, hi, 0))
-                if len(pending) >= window:
+            exhausted = False
+            while True:
+                while not exhausted and len(pending) < window:
+                    refill = next(ranges, None)
+                    if refill is None:
+                        exhausted = True
+                        break
+                    rindex, (rlo, rhi) = refill
+                    rhandle = backend.submit(rlo, rhi, index=rindex, attempt=0)
+                    pending.append((rhandle, rindex, rlo, rhi, 0))
+                    merged.morsels_dispatched += 1
+                if not pending:
                     break
-            while pending:
                 handle, index, lo, hi, attempt = pending.popleft()
                 recovered = attempt > 0
                 try:
@@ -665,15 +704,11 @@ class MorselExecutor(PlanRunner):
                         hi,
                         factorized=factorized,
                         runtime=runtime,
+                        clock=self.clock,
                     )
                     recovered = True
                 if recovered:
                     merged.morsels_recovered += 1
-                refill = next(ranges, None)
-                if refill is not None:
-                    rindex, (rlo, rhi) = refill
-                    rhandle = backend.submit(rlo, rhi, index=rindex, attempt=0)
-                    pending.append((rhandle, rindex, rlo, rhi, 0))
                 merged.add(morsel_stats)
                 if runtime is not None:
                     runtime.check(merged)

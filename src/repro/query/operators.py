@@ -54,8 +54,9 @@ byte-identical batches and :class:`ExecutionStats` counters.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -104,6 +105,19 @@ class ExecutionStats:
     seconds left of a ``timeout=`` budget (``None`` when no deadline was
     requested; ``0.0`` on the partial stats attached to a
     :class:`~repro.errors.QueryTimeoutError`).
+
+    The pipeline observability fields are deliberately excluded from
+    equality (``compare=False``): per-stage wall-clock time and the number
+    of morsels a dispatcher handed out are runtime artefacts that vary
+    across backends, worker counts and early termination, while the work
+    counters above are the byte-identity contract.  ``operator_seconds``
+    maps a stage label (e.g. ``"0:scan"``, ``"1:extend"``) to the
+    *exclusive* wall-clock seconds spent in that stage (child-stage time
+    subtracted, so the per-stage times sum to the pipeline total);
+    ``operator_batches`` counts the batches each stage emitted;
+    ``morsels_dispatched`` counts the morsels the dispatcher actually
+    submitted to workers — under ``collect(limit=)`` early termination this
+    stays below the full domain's morsel count.
     """
 
     lists_accessed: int = 0
@@ -116,6 +130,9 @@ class ExecutionStats:
     retries: int = 0
     morsels_recovered: int = 0
     deadline_remaining: Optional[float] = None
+    morsels_dispatched: int = field(default=0, compare=False)
+    operator_seconds: Dict[str, float] = field(default_factory=dict, compare=False)
+    operator_batches: Dict[str, int] = field(default_factory=dict, compare=False)
 
     def reset(self) -> None:
         self.lists_accessed = 0
@@ -128,6 +145,25 @@ class ExecutionStats:
         self.retries = 0
         self.morsels_recovered = 0
         self.deadline_remaining = None
+        self.morsels_dispatched = 0
+        self.operator_seconds = {}
+        self.operator_batches = {}
+
+    def record_stage(self, label: str, seconds: float, batches: int = 0) -> None:
+        """Attribute ``seconds`` of exclusive wall time (and optionally
+        emitted batches) to pipeline stage ``label``."""
+        self.operator_seconds[label] = (
+            self.operator_seconds.get(label, 0.0) + seconds
+        )
+        if batches:
+            self.operator_batches[label] = (
+                self.operator_batches.get(label, 0) + batches
+            )
+
+    def pipeline_seconds(self) -> float:
+        """Total wall time attributed to pipeline stages (sum of the
+        exclusive per-stage times)."""
+        return sum(self.operator_seconds.values())
 
     def add(self, other: "ExecutionStats") -> None:
         """Accumulate another stats object (morsel-wise merge).
@@ -135,7 +171,11 @@ class ExecutionStats:
         Every counter is per-row accounting, so summing the per-morsel
         counters of a partitioned execution reproduces the serial totals
         exactly.  ``deadline_remaining`` is a query-level value set by the
-        runner, not a morsel-wise sum, so it is left untouched.
+        runner, not a morsel-wise sum, so it is left untouched.  The
+        observability fields merge additively (stage times key-wise), which
+        keeps per-stage attribution meaningful across morsels; on
+        multi-worker backends the summed stage times measure aggregate CPU
+        time, not wall clock.
         """
         self.lists_accessed += other.lists_accessed
         self.list_entries_fetched += other.list_entries_fetched
@@ -146,6 +186,15 @@ class ExecutionStats:
         self.segments_emitted += other.segments_emitted
         self.retries += other.retries
         self.morsels_recovered += other.morsels_recovered
+        self.morsels_dispatched += other.morsels_dispatched
+        for label, seconds in other.operator_seconds.items():
+            self.operator_seconds[label] = (
+                self.operator_seconds.get(label, 0.0) + seconds
+            )
+        for label, batches in other.operator_batches.items():
+            self.operator_batches[label] = (
+                self.operator_batches.get(label, 0) + batches
+            )
 
 
 @dataclass
@@ -165,6 +214,11 @@ class ExecutionContext:
     batch_size: int = DEFAULT_BATCH_SIZE
     stats: ExecutionStats = field(default_factory=ExecutionStats)
     runtime: Optional[object] = None
+    # Monotonic clock used for per-stage timing.  Injectable so tests can
+    # drive the pipeline with a fake clock and assert exact attributions;
+    # process-pool workers always use the default (callables do not ship
+    # with the pickled payload).
+    clock: Callable[[], float] = field(default=time.perf_counter)
 
     def variable_kind(self, name: str) -> str:
         return self.query.variable_kind(name)

@@ -338,6 +338,7 @@ class PersistentThreadBackend(ThreadBackend):
         self._factorized = factorized
         self._runtime = runtime
         self._faults = faults
+        self._clock = getattr(executor, "clock", None)
         self.queries_served += 1
 
     def close(self) -> None:

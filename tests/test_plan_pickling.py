@@ -32,6 +32,7 @@ from repro.query.backends import (
     run_morsel,
 )
 from repro.query.executor import Executor
+from repro.query.operators import ExecutionStats
 
 
 @pytest.fixture()
@@ -60,7 +61,14 @@ def _triangle():
 
 
 def _stats_dict(stats):
-    return dataclasses.asdict(stats)
+    # The compare=False observability fields (per-stage wall times, morsel
+    # dispatch counts) legitimately differ between runs; byte-identity is
+    # asserted on the work counters.
+    return {
+        field.name: getattr(stats, field.name)
+        for field in dataclasses.fields(stats)
+        if field.compare
+    }
 
 
 class TestTaskSpecRoundTrip:
@@ -94,7 +102,10 @@ class TestWorkerPayloadRoundTrip:
         expected_batches, expected_stats = run_morsel(
             plan, zipf_db.graph, 64, 10, 55
         )
-        assert dataclasses.astuple(expected_stats) == stats_tuple
+        # Dataclass equality excludes the compare=False observability
+        # fields (per-stage wall times differ run to run); the work
+        # counters must round-trip exactly.
+        assert ExecutionStats(*stats_tuple) == expected_stats
         assert reply_checksum(encoded, stats_tuple) == checksum
         got = [row for batch in batches for row in batch.to_dicts()]
         want = [row for batch in expected_batches for row in batch.to_dicts()]
