@@ -16,7 +16,12 @@ lose:
 * **counter consistency** — after drain,
   ``submitted == admitted + rejected + shed`` and
   ``admitted == completed + failed``, and every successful query returned
-  the serial oracle's count.
+  the serial oracle's count,
+* **bounded plan cache** — clients submit query graphs (not pre-built
+  plans), so every submission rides the PR 10 plan cache; after the soak
+  the cache must hold at most ``capacity`` entries (no unbounded growth)
+  and ``plan_cache_hits + plan_cache_misses`` must equal the QueryGraph
+  submissions counted in ``submitted``.
 
 One phase runs per backend (``thread`` always; ``process`` where ``fork``
 is available), splitting ``--seconds`` between them.  Exits non-zero on
@@ -74,7 +79,8 @@ def _soak_phase(
     seconds: float,
     clients: int,
 ) -> Dict:
-    plans = [db.plan(q) for q in (_one_hop(), _two_hop(), _triangle())]
+    queries = [_one_hop(), _two_hop(), _triangle()]
+    plans = [db.plan(q) for q in queries]
     oracles = [db.count(plan, parallelism=1) for plan in plans]
     server = DatabaseServer(
         db,
@@ -95,7 +101,7 @@ def _soak_phase(
         rng = np.random.RandomState(1000 + index)
         issued = 0
         while time.monotonic() < deadline:
-            rank = int(rng.randint(len(plans)))
+            rank = int(rng.randint(len(queries)))
             issued += 1
             timeout = (
                 TIGHT_TIMEOUT_SECONDS
@@ -103,7 +109,10 @@ def _soak_phase(
                 else None
             )
             try:
-                count = server.count(plans[rank], timeout=timeout)
+                # Submit the *query graph*, not the plan: the soak then also
+                # exercises the plan cache's steady state (every submission
+                # after the first is a fingerprint hit on one generation).
+                count = server.count(queries[rank], timeout=timeout)
             except ServerOverloadedError:
                 with lock:
                     outcomes["rejected"] += 1
@@ -161,10 +170,23 @@ def _soak_phase(
             f"backend={backend}: clients saw {outcomes['ok']} successes but "
             f"the server counted {stats['completed']}"
         )
+    cache = db.plan_cache
+    if len(cache) > cache.capacity:
+        failures.append(
+            f"backend={backend}: plan cache grew past its bound "
+            f"({len(cache)} entries > capacity {cache.capacity})"
+        )
+    if stats["plan_cache_hits"] + stats["plan_cache_misses"] != stats["submitted"]:
+        failures.append(
+            f"backend={backend}: plan-cache counters do not reconcile with "
+            f"the QueryGraph submissions: {stats}"
+        )
     return {
         "backend": backend,
         "outcomes": outcomes,
         "stats": stats,
+        "plan_cache_entries": len(cache),
+        "plan_cache": cache.stats.snapshot(),
         "pools_created": server.supervisor.pools_created,
         "pools_reused": server.supervisor.pools_reused,
         "failures": failures,

@@ -76,6 +76,8 @@ from .query import (
     NaiveMatcher,
     Optimizer,
     PipelineBuilder,
+    PlanCache,
+    PlanCacheStats,
     Predicate,
     QueryContext,
     QueryGraph,
@@ -121,6 +123,8 @@ __all__ = [
     "NaiveMatcher",
     "OneHopView",
     "Optimizer",
+    "PlanCache",
+    "PlanCacheStats",
     "PlanningError",
     "Predicate",
     "PrimaryIndex",

@@ -88,6 +88,7 @@ from .pipeline import (
     run_pipeline,
     run_pipeline_factorized,
     run_pipeline_legacy,
+    validate_limit,
 )
 from .faults import FaultPlan
 from .morsels import degree_weighted_ranges, even_ranges, ranges_of_size
@@ -106,6 +107,7 @@ from .operators import (
 from .optimizer import CostModel, Optimizer
 from .pattern import QueryEdge, QueryGraph, QueryVertex
 from .plan import QueryPlan
+from .plan_cache import DEFAULT_PLAN_CACHE_CAPACITY, PlanCache, PlanCacheStats
 from .predicates import (
     CompareOp,
     Comparison,
@@ -152,6 +154,8 @@ __all__ = [
     "Optimizer",
     "PhysicalPipeline",
     "PipelineBuilder",
+    "PlanCache",
+    "PlanCacheStats",
     "Predicate",
     "ProcessBackend",
     "PropertyRef",
@@ -178,6 +182,7 @@ __all__ = [
     "reply_checksum",
     "residual_conjuncts",
     "run_pipeline",
+    "validate_limit",
     "run_pipeline_factorized",
     "run_pipeline_legacy",
 ]

@@ -52,7 +52,9 @@ from .executor import Executor, MorselExecutor, QueryResult
 from .faults import FAULTS_ENV_VAR
 from .optimizer import Optimizer
 from .pattern import QueryGraph
+from .pipeline import validate_limit
 from .plan import QueryPlan
+from .plan_cache import DEFAULT_PLAN_CACHE_CAPACITY, PlanCache
 from .runtime import CancellationToken
 
 
@@ -111,12 +113,23 @@ class Database:
         batch_size: int = 1024,
         parallelism: Optional[int] = None,
         backend: Optional[str] = None,
+        plan_cache_capacity: Optional[int] = None,
     ) -> None:
         self._primary = PrimaryIndex(graph, config=primary_config)
         self.store = IndexStore(graph, self._primary)
         self.batch_size = batch_size
         self.parallelism = parallelism
         self.backend = backend
+        #: Memoized planning for QueryGraph submissions: an LRU keyed on
+        #: (canonical fingerprint, store generation, planning knobs), so
+        #: repeated hot patterns plan once per store generation and reuse
+        #: the *same* pinned plan object (:mod:`repro.query.plan_cache`).
+        #: ``plan_cache_capacity=0`` disables it.
+        self.plan_cache = PlanCache(
+            DEFAULT_PLAN_CACHE_CAPACITY
+            if plan_cache_capacity is None
+            else plan_cache_capacity
+        )
 
     def _resolve_parallelism(self, parallelism: Optional[int]) -> int:
         """Effective worker count: call arg > instance default > env > 1."""
@@ -335,26 +348,35 @@ class Database:
     # querying
     # ------------------------------------------------------------------
     def plan(self, query: QueryGraph) -> QueryPlan:
-        """Optimize a query into a physical plan.
+        """Optimize a query into a physical plan (plan-cache aware).
 
         The plan is pinned to the store generation it was planned against
         (``plan.store_snapshot``): running it later — even after maintenance
         flushes — executes against that generation's graph, keeping the
         plan's index references and the executed graph coherent.
+
+        Planning consults :attr:`plan_cache`: a structurally identical query
+        already planned against the *current* store generation returns the
+        same pinned plan object without re-running the optimizer.  Any store
+        change (flush, reconfiguration, index DDL) bumps the generation, so
+        the next ``plan`` of the pattern re-plans against the new state.
         """
-        snapshot = self.store.snapshot()
-        plan = Optimizer(snapshot).optimize(query)
-        plan.store_snapshot = snapshot
+        plan, _snapshot, _hit = self._pinned_plan(query)
         return plan
 
     def _pinned_plan(self, query: Union[QueryGraph, QueryPlan]):
-        """Resolve (plan, snapshot) pinned to one coherent store generation.
+        """Resolve (plan, snapshot, cache_hit) on one coherent generation.
 
         A concurrent maintenance flush must never be observed half-merged: a
         pre-built plan supplies the generation it was planned against (its
         legs reference that generation's indexes; executing it against a
         newer graph would mix edge IDs across flush remappings), otherwise
-        the current generation is captured here.
+        the current generation is captured here and the plan cache consulted
+        under it — a hit returns the entry's own pinned snapshot, which
+        denotes the same immutable store state the key's generation does.
+        Pre-built plans bypass the cache entirely (their pinned-replay
+        semantics are the caller's explicit choice); ``cache_hit`` is False
+        for them.
         """
         if isinstance(query, QueryPlan):
             plan = query
@@ -363,11 +385,20 @@ class Database:
                 if plan.store_snapshot is not None
                 else self.store.snapshot()
             )
-        else:
-            snapshot = self.store.snapshot()
-            plan = Optimizer(snapshot).optimize(query)
-            plan.store_snapshot = snapshot
-        return plan, snapshot
+            return plan, snapshot, False
+        snapshot = self.store.snapshot()
+
+        def _plan_fresh() -> QueryPlan:
+            fresh = Optimizer(snapshot).optimize(query)
+            fresh.store_snapshot = snapshot
+            return fresh
+
+        plan, hit = self.plan_cache.get_or_plan(
+            query, snapshot.state.generation, _plan_fresh
+        )
+        if hit:
+            snapshot = plan.store_snapshot
+        return plan, snapshot, hit
 
     def run(
         self,
@@ -412,7 +443,7 @@ class Database:
                 check point with :class:`~repro.errors.QueryCancelledError`.
         """
         workers = self._resolve_parallelism(parallelism)
-        plan, snapshot = self._pinned_plan(query)
+        plan, snapshot, _cache_hit = self._pinned_plan(query)
         return self._make_executor(snapshot.graph, workers, backend).run(
             plan,
             materialize=materialize,
@@ -442,7 +473,7 @@ class Database:
         ``timeout``/``cancel`` behave as in :meth:`run`.
         """
         workers = self._resolve_parallelism(parallelism)
-        plan, snapshot = self._pinned_plan(query)
+        plan, snapshot, _cache_hit = self._pinned_plan(query)
         return self._make_executor(snapshot.graph, workers, backend).count(
             plan, factorized=factorized, timeout=timeout, cancel=cancel
         )
@@ -463,11 +494,15 @@ class Database:
         soon as the limit is reached — mid-batch, and under
         ``parallelism >= 2`` mid-morsel (no further morsel is dispatched) —
         while the returned prefix stays byte-identical to the unlimited
-        run's first ``limit`` matches on every backend.
+        run's first ``limit`` matches on every backend.  ``limit=None``
+        is unlimited and ``limit=0`` a legal empty result; a negative
+        limit raises :class:`~repro.errors.ExecutionError` (validated
+        here like ``parallelism`` is, before any planning happens).
         ``timeout``/``cancel`` behave as in :meth:`run`.
         """
+        validate_limit(limit)
         workers = self._resolve_parallelism(parallelism)
-        plan, snapshot = self._pinned_plan(query)
+        plan, snapshot, _cache_hit = self._pinned_plan(query)
         return self._make_executor(snapshot.graph, workers, backend).collect(
             plan, limit=limit, timeout=timeout, cancel=cancel
         )
@@ -489,7 +524,7 @@ class Database:
         :meth:`run`.
         """
         workers = self._resolve_parallelism(parallelism)
-        plan, snapshot = self._pinned_plan(query)
+        plan, snapshot, _cache_hit = self._pinned_plan(query)
         return self._make_executor(snapshot.graph, workers, backend).exists(
             plan, timeout=timeout, cancel=cancel
         )
@@ -662,5 +697,37 @@ class Database:
             f"{defaults.breaker_cooldown:g}s.  Determinism contract: an\n"
             "  admitted query's result is byte-identical to a direct "
             "Database.run()."
+        )
+        cache_counters = self.plan_cache.stats.snapshot()
+        lines.append(
+            "Plan cache (canonical query fingerprints):\n"
+            "  QueryGraph submissions are memoized: plan()/run()/count()/"
+            "collect()/exists()\n"
+            "  (and the server's submit()) consult an LRU keyed on (query "
+            "fingerprint,\n"
+            "  store generation, planning knobs).  The fingerprint is a "
+            "canonical label of\n"
+            "  the pattern — vertices, edges, labels, directions, "
+            "predicates — so renaming\n"
+            "  variables or reordering insertion hits the same entry; any "
+            "store change\n"
+            "  (maintenance flush, reconfiguration, index DDL) bumps the "
+            "generation, which\n"
+            "  invalidates for free: the next submission re-plans against "
+            "the new state.\n"
+            "  Hits return the *same* pinned plan object, so the server "
+            "pools' payload\n"
+            "  registry (keyed on plan identity) skips re-pickling too.  "
+            "Pre-built\n"
+            "  QueryPlan submissions bypass the cache (pinned-generation "
+            "replay).\n"
+            "  Determinism contract: a cache-hit execution is "
+            "byte-identical to a\n"
+            "  fresh-planned one on every backend.\n"
+            f"  capacity: {self.plan_cache.capacity} entries "
+            "(constructor plan_cache_capacity=; 0 disables), "
+            f"current: {len(self.plan_cache)}\n"
+            "  counters: "
+            + ", ".join(f"{k}={v}" for k, v in cache_counters.items())
         )
         return "\n".join(lines)

@@ -107,6 +107,7 @@ from .pipeline import (
     LimitSink,
     PipelineBuilder,
     Sink,
+    validate_limit,
 )
 from .plan import QueryPlan
 from .runtime import CancellationToken, QueryContext, make_runtime
@@ -241,8 +242,14 @@ class PlanRunner:
         run's).  The returned prefix is byte-identical to the unlimited
         run's first ``limit`` matches.  ``timeout``/``cancel``/``runtime``
         behave as in :meth:`count`.
+
+        ``limit=None`` is unlimited and ``limit=0`` a legal empty result;
+        a negative limit raises a typed
+        :class:`~repro.errors.ExecutionError` (it used to be silently
+        swallowed into zero rows here, masking caller bugs).
         """
-        if limit is not None and limit <= 0:
+        validate_limit(limit)
+        if limit == 0:
             return []
         sink = FlattenSink() if limit is None else LimitSink(limit)
         if runtime is None:

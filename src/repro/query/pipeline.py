@@ -221,6 +221,24 @@ class CountSink(Sink):
         return self.count
 
 
+def validate_limit(limit: Optional[int]) -> Optional[int]:
+    """Shared ``limit`` validation for every LIMIT entry point.
+
+    ``None`` means unlimited and ``0`` is a legal empty result; anything
+    negative raises a typed :class:`~repro.errors.ExecutionError` (the same
+    contract as ``parallelism``/``timeout`` validation) instead of being
+    silently swallowed into zero rows.  Used by ``Database.collect``,
+    the executors' ``collect``, ``DatabaseServer.submit(mode="collect")``,
+    and :class:`LimitSink` itself.
+    """
+    if limit is not None and limit < 0:
+        raise ExecutionError(
+            f"limit must be >= 0, got {limit} "
+            "(limit=0 is a legal empty result; limit=None is unlimited)"
+        )
+    return limit
+
+
 class FlattenSink(Sink):
     """Materializing sink: flat match dicts — the kept oracle representation.
 
@@ -267,8 +285,7 @@ class LimitSink(FlattenSink):
     name = "limit"
 
     def __init__(self, limit: int) -> None:
-        if limit < 0:
-            raise ExecutionError(f"limit must be >= 0, got {limit}")
+        validate_limit(limit)
         super().__init__(limit=limit)
 
 

@@ -66,6 +66,27 @@ class QueryPlan:
         if not isinstance(self.operators[0], ScanVertices):
             raise PlanningError("the first operator of a plan must be a scan")
 
+    def __hash__(self) -> int:
+        """Structural hash, consistent with the dataclass-generated ``__eq__``.
+
+        Built on the query's canonical fingerprint plus the operator
+        pipeline's shape and cost estimates — everything ``__eq__`` compares
+        hangs off those (``store_snapshot`` carries ``compare=False``, so the
+        pinned generation stays out of both).  Plans of structurally
+        identical queries hash alike, which is what lets plans live in hash
+        containers (result memos, the payload bookkeeping around
+        :mod:`repro.server.pools`) instead of being unhashable as the bare
+        ``eq=True`` dataclass was.
+        """
+        return hash(
+            (
+                self.query.fingerprint(),
+                tuple(self.operator_names()),
+                self.estimated_cost,
+                self.estimated_cardinality,
+            )
+        )
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------

@@ -103,7 +103,13 @@ class ServerStats:
     * ``submitted == admitted + rejected + shed`` — every submitted query
       is accounted exactly once;
     * ``admitted == completed + failed`` — every admitted query reaches a
-      terminal outcome.
+      terminal outcome;
+    * ``plan_cache_hits + plan_cache_misses`` equals the number of
+      ``QueryGraph`` submissions counted in ``submitted`` — submitting a
+      query graph plans it through the database's
+      :class:`~repro.query.plan_cache.PlanCache`, and exactly one of the
+      two counters records the outcome (pre-built ``QueryPlan``
+      submissions bypass the cache and touch neither).
     """
 
     submitted: int = 0
@@ -112,6 +118,8 @@ class ServerStats:
     shed: int = 0
     completed: int = 0
     failed: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -121,6 +129,8 @@ class ServerStats:
             "shed": self.shed,
             "completed": self.completed,
             "failed": self.failed,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
         }
 
 

@@ -46,6 +46,7 @@ from ..errors import (
 )
 from ..query.executor import MorselExecutor, QueryResult
 from ..query.pattern import QueryGraph
+from ..query.pipeline import validate_limit
 from ..query.plan import QueryPlan
 from ..query.runtime import CancellationToken, QueryContext
 from .admission import (
@@ -119,6 +120,7 @@ class DatabaseServer:
         mode: str = "run",
         materialize: bool = False,
         factorized: Optional[bool] = None,
+        limit: Optional[int] = None,
         timeout: Optional[float] = None,
         cancel: Optional[CancellationToken] = None,
         parallelism: Optional[int] = None,
@@ -126,10 +128,20 @@ class DatabaseServer:
     ) -> ServerTicket:
         """Admit one query; returns its :class:`ServerTicket`.
 
+        ``mode`` selects the sink the slot drains through — ``"run"``,
+        ``"count"``, ``"collect"`` (honouring ``limit=``; the streaming
+        ``LimitSink`` short-circuits server-side too), or ``"exists"``.
+        All four share the same pinned-plan path, so a cached plan serves
+        every mode.
+
         Planning happens here, synchronously, against an atomic store
         snapshot — the ticket carries a pinned plan, so whatever the queue
-        does afterwards cannot change *what* the query reads.  The
-        query's deadline (from ``timeout`` or the config's
+        does afterwards cannot change *what* the query reads.  A
+        ``QueryGraph`` submission consults the database's
+        :class:`~repro.query.plan_cache.PlanCache` (the outcome lands in
+        ``stats.plan_cache_hits``/``plan_cache_misses``); a pre-built
+        ``QueryPlan`` replays against its own pinned generation and skips
+        the cache.  The query's deadline (from ``timeout`` or the config's
         ``default_timeout``) also starts here: waiting in the queue spends
         the same budget execution would.
 
@@ -139,15 +151,21 @@ class DatabaseServer:
         :class:`~repro.errors.QueryTimeoutError` when a ``block``-policy
         wait outlives the query's own deadline.
         """
-        if mode not in ("run", "count"):
+        if mode not in ("run", "count", "collect", "exists"):
             raise ExecutionError(
-                f"unknown submit mode {mode!r}; expected 'run' or 'count'"
+                f"unknown submit mode {mode!r}; expected 'run', 'count', "
+                "'collect', or 'exists'"
             )
+        if limit is not None and mode != "collect":
+            raise ExecutionError(
+                f"limit= only applies to mode='collect', not mode={mode!r}"
+            )
+        validate_limit(limit)
         effective_timeout = (
             timeout if timeout is not None else self.config.default_timeout
         )
         runtime = QueryContext(timeout=effective_timeout, cancel=cancel)
-        plan, snapshot = self.db._pinned_plan(query)
+        plan, snapshot, cache_hit = self.db._pinned_plan(query)
         workers = self.db._resolve_parallelism(
             parallelism if parallelism is not None else self.config.parallelism
         )
@@ -159,7 +177,11 @@ class DatabaseServer:
             # always-healthy path (and what direct Database.run(parallelism=1)
             # does).
             backend_name = "serial"
-        kwargs = {"materialize": materialize, "factorized": factorized}
+        kwargs = {
+            "materialize": materialize,
+            "factorized": factorized,
+            "limit": limit,
+        }
         ticket = ServerTicket(
             server=self,
             plan=plan,
@@ -176,6 +198,11 @@ class DatabaseServer:
                     "server is draining/closed and admits no new queries"
                 )
             self.stats.submitted += 1
+            if isinstance(query, QueryGraph):
+                if cache_hit:
+                    self.stats.plan_cache_hits += 1
+                else:
+                    self.stats.plan_cache_misses += 1
             while len(self._queue) >= self.config.max_queue_depth:
                 if self.config.policy == "reject":
                     self.stats.rejected += 1
@@ -238,6 +265,14 @@ class DatabaseServer:
     def count(self, query, **kwargs) -> int:
         """Submit and wait: the server-side analogue of ``Database.count``."""
         return self.submit(query, mode="count", **kwargs).result()
+
+    def collect(self, query, limit=None, **kwargs):
+        """Submit and wait: the server-side analogue of ``Database.collect``."""
+        return self.submit(query, mode="collect", limit=limit, **kwargs).result()
+
+    def exists(self, query, **kwargs) -> bool:
+        """Submit and wait: the server-side analogue of ``Database.exists``."""
+        return self.submit(query, mode="exists", **kwargs).result()
 
     # ------------------------------------------------------------------
     # ticket call-backs (shed paths initiated by the ticket holder)
@@ -362,6 +397,17 @@ class DatabaseServer:
                 value = executor.count(
                     ticket.plan,
                     factorized=ticket.kwargs.get("factorized"),
+                    runtime=ticket.runtime,
+                )
+            elif ticket.mode == "collect":
+                value = executor.collect(
+                    ticket.plan,
+                    limit=ticket.kwargs.get("limit"),
+                    runtime=ticket.runtime,
+                )
+            elif ticket.mode == "exists":
+                value = executor.exists(
+                    ticket.plan,
                     runtime=ticket.runtime,
                 )
             else:

@@ -1,0 +1,268 @@
+"""Canonical query fingerprints: invariance, separation, and hashing.
+
+The plan cache (PR 10) keys on :meth:`QueryGraph.fingerprint` — a canonical
+labeling of the pattern — so this suite pins the two properties the cache
+depends on:
+
+* **Invariance** — structurally identical patterns produce the *same*
+  fingerprint (and compare equal / hash equal) no matter how they were
+  spelled: variable names, vertex/edge insertion order, predicate conjunct
+  order, and which way a comparison was written (``e1.amt < e2.amt + 5`` vs
+  ``e2.amt > e1.amt - 5``) are all erased by canonicalization.
+* **Separation** — any *semantic* difference (labels, edge direction, an
+  extra edge, a different operator/constant/offset, or which of two parallel
+  edges a predicate pins) produces a different fingerprint.  A collision
+  here would silently serve the wrong plan.
+"""
+
+from __future__ import annotations
+
+from repro.query import QueryGraph, cmp, prop
+
+
+# ----------------------------------------------------------------------
+# pattern builders (each spelled several equivalent ways)
+# ----------------------------------------------------------------------
+def _triangle(
+    names=("a", "b", "c"),
+    edge_names=("e1", "e2", "e3"),
+    order=None,
+    offset=5.0,
+):
+    """A directed Wire triangle a->b->c->a with an amt chain predicate."""
+    a, b, c = names
+    e1, e2, e3 = edge_names
+    q = QueryGraph("triangle")
+    for v in names:
+        q.add_vertex(v, label="Account")
+    edges = [(a, b, e1), (b, c, e2), (c, a, e3)]
+    for idx in order or range(3):
+        src, dst, name = edges[idx]
+        q.add_edge(src, dst, label="Wire", name=name)
+    q.add_predicate(cmp(prop(e1, "amt"), "<", prop(e2, "amt"), offset=offset))
+    return q
+
+
+def _owns(customer="c1", account="a1", edge="r1", name="owns"):
+    q = QueryGraph(name)
+    q.add_vertex(customer, label="Customer")
+    q.add_vertex(account, label="Account")
+    q.add_edge(customer, account, label="Owns", name=edge)
+    return q
+
+
+def _parallel(swap_predicate=False):
+    """Two parallel Wire edges a->b told apart only by their predicate."""
+    q = QueryGraph("parallel")
+    q.add_vertex("a", label="Account")
+    q.add_vertex("b", label="Account")
+    q.add_edge("a", "b", label="Wire", name="e1")
+    q.add_edge("a", "b", label="Wire", name="e2")
+    lo, hi = ("e2", "e1") if swap_predicate else ("e1", "e2")
+    q.add_predicate(cmp(prop(lo, "amt"), "<", prop(hi, "amt")))
+    return q
+
+
+# ----------------------------------------------------------------------
+# invariance
+# ----------------------------------------------------------------------
+class TestInvariance:
+    def test_variable_renaming(self):
+        q1 = _triangle()
+        q2 = _triangle(names=("x", "y", "z"), edge_names=("p", "q", "r"))
+        assert q1.fingerprint() == q2.fingerprint()
+        assert q1 == q2
+        assert hash(q1) == hash(q2)
+
+    def test_query_name_is_not_structural(self):
+        assert _owns(name="first") == _owns(name="second")
+
+    def test_edge_insertion_order(self):
+        q1 = _triangle(order=[0, 1, 2])
+        q2 = _triangle(order=[2, 0, 1])
+        q3 = _triangle(order=[1, 2, 0])
+        assert q1.fingerprint() == q2.fingerprint() == q3.fingerprint()
+
+    def test_vertex_insertion_order(self):
+        q1 = QueryGraph("v12")
+        q1.add_vertex("c1", label="Customer")
+        q1.add_vertex("a1", label="Account")
+        q1.add_edge("c1", "a1", label="Owns", name="r1")
+
+        q2 = QueryGraph("v21")
+        q2.add_vertex("a1", label="Account")
+        q2.add_vertex("c1", label="Customer")
+        q2.add_edge("c1", "a1", label="Owns", name="r1")
+        assert q1.fingerprint() == q2.fingerprint()
+
+    def test_predicate_conjunct_order(self):
+        def build(reverse):
+            q = _owns()
+            conjuncts = [
+                cmp(prop("c1", "name"), "=", "Alice"),
+                cmp(prop("a1", "balance"), ">", 100),
+            ]
+            if reverse:
+                conjuncts.reverse()
+            q.add_predicate(*conjuncts)
+            return q
+
+        assert build(False).fingerprint() == build(True).fingerprint()
+
+    def test_flipped_comparison_spelling(self):
+        """``e1.amt < e2.amt + 5`` and ``e2.amt > e1.amt - 5`` are one
+        predicate; canonicalization reorients before encoding."""
+        q1 = _triangle()
+        q2 = QueryGraph("flipped")
+        for v in ("a", "b", "c"):
+            q2.add_vertex(v, label="Account")
+        q2.add_edge("a", "b", label="Wire", name="e1")
+        q2.add_edge("b", "c", label="Wire", name="e2")
+        q2.add_edge("c", "a", label="Wire", name="e3")
+        q2.add_predicate(cmp(prop("e2", "amt"), ">", prop("e1", "amt"), offset=-5.0))
+        assert q1.fingerprint() == q2.fingerprint()
+
+    def test_fingerprint_is_cached_and_invalidated(self):
+        q = _owns()
+        first = q.fingerprint()
+        assert q.fingerprint() == first  # memoized path
+        q.add_vertex("a2", label="Account")
+        q.add_edge("c1", "a2", label="Owns", name="r2")
+        assert q.fingerprint() != first  # mutation invalidated the memo
+
+    def test_symmetric_pattern_terminates(self):
+        """A 5-clique (120 automorphisms) canonicalizes fine under the cap."""
+        q = QueryGraph("clique5")
+        vs = [f"v{i}" for i in range(5)]
+        for v in vs:
+            q.add_vertex(v, label="Account")
+        for i, u in enumerate(vs):
+            for w in vs[i + 1 :]:
+                q.add_edge(u, w, label="Wire")
+        assert len(q.fingerprint()) == 64  # sha256 hex
+
+
+# ----------------------------------------------------------------------
+# separation — different queries never collide
+# ----------------------------------------------------------------------
+class TestSeparation:
+    def test_vertex_label(self):
+        q1 = _owns()
+        q2 = QueryGraph("owns")
+        q2.add_vertex("c1", label="Customer")
+        q2.add_vertex("a1", label="Customer")  # label differs
+        q2.add_edge("c1", "a1", label="Owns", name="r1")
+        assert q1.fingerprint() != q2.fingerprint()
+        assert q1 != q2
+
+    def test_missing_label_differs_from_labelled(self):
+        q1 = _owns()
+        q2 = QueryGraph("owns")
+        q2.add_vertex("c1", label="Customer")
+        q2.add_vertex("a1")  # unlabelled
+        q2.add_edge("c1", "a1", label="Owns", name="r1")
+        assert q1.fingerprint() != q2.fingerprint()
+
+    def test_edge_label(self):
+        q1 = _owns()
+        q2 = QueryGraph("owns")
+        q2.add_vertex("c1", label="Customer")
+        q2.add_vertex("a1", label="Account")
+        q2.add_edge("c1", "a1", label="Wire", name="r1")
+        assert q1.fingerprint() != q2.fingerprint()
+
+    def test_edge_direction(self):
+        q1 = _owns()
+        q2 = QueryGraph("owns")
+        q2.add_vertex("c1", label="Customer")
+        q2.add_vertex("a1", label="Account")
+        q2.add_edge("a1", "c1", label="Owns", name="r1")  # reversed
+        assert q1.fingerprint() != q2.fingerprint()
+
+    def test_extra_edge(self):
+        q1 = _owns()
+        q2 = _owns()
+        q2.add_vertex("a2", label="Account")
+        q2.add_edge("c1", "a2", label="Owns", name="r2")
+        assert q1.fingerprint() != q2.fingerprint()
+
+    def test_predicate_operator_constant_offset(self):
+        base = _owns()
+        base.add_predicate(cmp(prop("a1", "balance"), ">", 100))
+
+        diff_op = _owns()
+        diff_op.add_predicate(cmp(prop("a1", "balance"), ">=", 100))
+
+        diff_const = _owns()
+        diff_const.add_predicate(cmp(prop("a1", "balance"), ">", 200))
+
+        no_pred = _owns()
+
+        prints = {
+            q.fingerprint() for q in (base, diff_op, diff_const, no_pred)
+        }
+        assert len(prints) == 4
+
+        assert _triangle(offset=5.0).fingerprint() != _triangle(offset=7.0).fingerprint()
+
+    def test_parallel_edges_distinguished_by_predicate(self):
+        """Which of two parallel edges the predicate pins is structural:
+        e1.amt < e2.amt names a different edge pair than e2.amt < e1.amt
+        only through canonicalization of the predicate orientation."""
+        assert _parallel(False).fingerprint() == _parallel(False).fingerprint()
+        # Swapping which edge is "smaller" is the *same* structure by
+        # symmetry (the two unnamed parallel edges are interchangeable), so
+        # the canonical forms coincide:
+        assert _parallel(False).fingerprint() == _parallel(True).fingerprint()
+        # ...but an asymmetric variant (one edge labelled differently) makes
+        # the orientation observable:
+        def asym(lo, hi):
+            q = QueryGraph("parallel-asym")
+            q.add_vertex("a", label="Account")
+            q.add_vertex("b", label="Account")
+            q.add_edge("a", "b", label="Wire", name="e1")
+            q.add_edge("a", "b", label="DirDeposit", name="e2")
+            q.add_predicate(cmp(prop(lo, "amt"), "<", prop(hi, "amt")))
+            return q
+
+        assert asym("e1", "e2").fingerprint() != asym("e2", "e1").fingerprint()
+
+    def test_zero_offset_matches_no_offset(self):
+        """-0.0 / 0.0 / absent offsets canonicalize identically."""
+        q1 = _parallel(False)
+        q2 = QueryGraph("parallel")
+        q2.add_vertex("a", label="Account")
+        q2.add_vertex("b", label="Account")
+        q2.add_edge("a", "b", label="Wire", name="e1")
+        q2.add_edge("a", "b", label="Wire", name="e2")
+        q2.add_predicate(cmp(prop("e1", "amt"), "<", prop("e2", "amt"), offset=-0.0))
+        assert q1.fingerprint() == q2.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# equality / hashing protocol
+# ----------------------------------------------------------------------
+class TestEqualityProtocol:
+    def test_eq_against_non_querygraph(self):
+        q = _owns()
+        assert q != "owns"
+        assert q != 42
+        assert (q == None) is False  # noqa: E711
+
+    def test_usable_as_dict_key(self):
+        table = {_owns(): "first"}
+        table[_owns(customer="x", account="y", edge="z")] = "second"
+        assert len(table) == 1
+        assert table[_owns()] == "second"
+
+    def test_plan_is_hashable(self, example_db):
+        plan = example_db.plan(_owns())
+        assert isinstance(hash(plan), int)
+        assert hash(plan) == hash(example_db.plan(_owns()))
+
+    def test_plan_twice_returns_same_object(self, example_db):
+        """The cache returns the *same* plan object for a structurally
+        identical query against an unchanged store."""
+        p1 = example_db.plan(_owns())
+        p2 = example_db.plan(_owns(customer="cust", account="acct", edge="rel"))
+        assert p1 is p2

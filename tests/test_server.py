@@ -590,3 +590,108 @@ def test_describe_mentions_server(example_db):
         live = server.describe()
     assert "admission" in live
     assert "Pool supervisor" in live
+
+
+# ----------------------------------------------------------------------
+# PR 10: collect/exists modes, limit validation, plan-cache counters
+# ----------------------------------------------------------------------
+class TestSubmitModesAndPlanCache:
+    def test_collect_mode_matches_direct(self, example_db):
+        q = _owns_query()
+        direct = example_db.collect(q)
+        with example_db.server() as server:
+            ticket = server.submit(_owns_query(), mode="collect")
+            assert ticket.result() == direct
+            assert server.collect(_owns_query()) == direct
+
+    def test_collect_mode_honours_limit(self, example_db):
+        q = _owns_query()
+        direct = example_db.collect(q, limit=2)
+        with example_db.server() as server:
+            assert server.collect(_owns_query(), limit=2) == direct
+            assert len(server.collect(_owns_query(), limit=2)) == 2
+            assert server.collect(_owns_query(), limit=0) == []
+
+    def test_exists_mode_matches_direct(self, example_db):
+        hit = _owns_query()
+        miss = QueryGraph("no-such-shape")
+        miss.add_vertex("a1", label="Account")
+        miss.add_vertex("c1", label="Customer")
+        miss.add_edge("a1", "c1", label="Owns", name="r1")  # reversed: none
+        with example_db.server() as server:
+            assert server.exists(hit) is example_db.exists(_owns_query())
+            assert server.submit(miss, mode="exists").result() is False
+
+    def test_unknown_mode_and_misplaced_limit_rejected(self, example_db):
+        with example_db.server() as server:
+            with pytest.raises(ExecutionError):
+                server.submit(_owns_query(), mode="explain")
+            with pytest.raises(ExecutionError):
+                server.submit(_owns_query(), mode="run", limit=3)
+            with pytest.raises(ExecutionError):
+                server.submit(_owns_query(), mode="count", limit=3)
+            # rejected synchronously: nothing was admitted or counted
+            assert server.stats.snapshot()["submitted"] == 0
+
+    def test_negative_limit_rejected_everywhere(self, example_db):
+        from repro.query.pipeline import LimitSink, validate_limit
+
+        q = _owns_query()
+        with pytest.raises(ExecutionError):
+            example_db.collect(q, limit=-1)
+        with pytest.raises(ExecutionError):
+            validate_limit(-3)
+        with pytest.raises(ExecutionError):
+            LimitSink(limit=-2)
+        with example_db.server() as server:
+            with pytest.raises(ExecutionError):
+                server.collect(q, limit=-1)
+
+    def test_limit_zero_is_a_legal_empty_result(self, example_db):
+        """The old behaviour silently returned [] for *any* limit <= 0;
+        limit=0 stays legal (and empty), limit=None stays unlimited."""
+        q = _owns_query()
+        assert example_db.collect(q, limit=0) == []
+        assert example_db.collect(q, limit=None) == example_db.collect(q)
+
+    def test_plan_cache_counters_reconcile(self, example_db):
+        prebuilt = example_db.plan(_two_hop_query())
+        with example_db.server() as server:
+            server.run(_owns_query())          # miss (first sighting)
+            server.count(_owns_query())        # hit
+            server.collect(_owns_query())      # hit
+            server.exists(_owns_query())       # hit
+            server.count(_two_hop_query())     # hit (db.plan above cached it)
+            server.run(prebuilt)               # QueryPlan: bypasses the cache
+            stats = server.stats.snapshot()
+        _assert_invariants(server)
+        graph_submissions = 5
+        assert stats["submitted"] == 6
+        assert (
+            stats["plan_cache_hits"] + stats["plan_cache_misses"]
+            == graph_submissions
+        )
+        assert stats["plan_cache_misses"] == 1
+        assert stats["plan_cache_hits"] == 4
+
+    def test_repeated_submission_plans_once_per_generation(self, example_db):
+        """The acceptance bar: N submissions of one pattern = 1 planning."""
+        with example_db.server() as server:
+            for _ in range(10):
+                server.count(_owns_query())
+            stats = server.stats.snapshot()
+        assert stats["plan_cache_misses"] == 1
+        assert stats["plan_cache_hits"] == 9
+        assert example_db.plan_cache.stats.misses == 1
+
+    def test_cached_submission_identical_to_direct(self, example_db):
+        """Server cache hits return byte-identical results to a direct,
+        fresh-planned Database.run."""
+        fresh_db = Database(example_db.graph, plan_cache_capacity=0)
+        q = _two_hop_query()
+        with example_db.server() as server:
+            server.run(q)  # warm
+            served = server.run(_two_hop_query(), materialize=True)
+        direct = fresh_db.run(_two_hop_query(), materialize=True)
+        assert served.matches == direct.matches
+        assert served.count == direct.count
